@@ -1,0 +1,32 @@
+# Convenience targets for the TDFM reproduction.
+
+.PHONY: build test bench repro examples vet fmt clean
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go test ./...
+
+# Full benchmark suite: regenerates every table/figure once (tiny scale).
+bench:
+	go test -bench=. -benchmem -timeout 120m ./...
+
+# Regenerate the entire paper via the CLI (higher fidelity than `bench`).
+repro:
+	go run ./cmd/tdfmbench -exp all -reps 3
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/techniquepicker -reps 1
+	go run ./examples/trafficsign
+	go run ./examples/pneumonia
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper. One
+// benchmark per artefact; each prints the same rows/series the paper
+// reports (to stdout, interleaved with the benchmark timing lines).
+//
+// All benchmarks share one memoized Runner, so golden models and ensemble
+// trainings computed for one figure are reused by the others — the whole
+// suite regenerates the paper once, not once per benchmark. Benchmarks use
+// the tiny dataset scale and a single repetition to stay laptop-friendly;
+// use cmd/tdfmbench with -scale small -reps 5 (or more) for figures with
+// meaningful confidence intervals.
+//
+// Run with: go test -bench=. -benchmem (expect ~20-40 minutes on one core).
+package tdfm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/models"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiment.Runner
+)
+
+// sharedRunner returns the process-wide memoized runner used by every
+// benchmark.
+func sharedRunner() *experiment.Runner {
+	benchOnce.Do(func() {
+		benchRunner = experiment.NewRunner(datagen.ScaleTiny, 1, 1)
+	})
+	return benchRunner
+}
+
+// BenchmarkTable1Survey regenerates Table I (survey & representative
+// selection). Pure data transformation; nanoseconds.
+func BenchmarkTable1Survey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := io.Discard
+		if i == 0 {
+			w = os.Stdout
+		}
+		if err := experiment.RenderTable1(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Datasets regenerates Table II (dataset inventory).
+func BenchmarkTable2Datasets(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		w := io.Discard
+		if i == 0 {
+			w = os.Stdout
+		}
+		if err := r.RenderTable2(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Architectures regenerates Table III (model inventory).
+func BenchmarkTable3Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := io.Discard
+		if i == 0 {
+			w = os.Stdout
+		}
+		experiment.RenderTable3(w)
+	}
+}
+
+// BenchmarkTable4GoldenAccuracy regenerates Table IV (accuracy without
+// fault injection) for a two-model slice of the paper's four; run
+// `tdfmbench -exp table4` for the full table.
+func BenchmarkTable4GoldenAccuracy(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		t4, err := r.Table4([]string{models.ResNet50, models.ConvNet}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			t4.Table().Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkMotivatingExample regenerates the §II/§III-D example
+// (Pneumonia*, ResNet50, 10% mislabelling).
+func BenchmarkMotivatingExample(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		m, err := r.Motivating()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			m.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig3Mislabelling regenerates Fig. 3a-d (AD under mislabelling
+// on GTSRB*) for a two-model slice (ConvNet shallow, MobileNet deep); run
+// `tdfmbench -exp fig3-mislabel` for all four panels.
+func BenchmarkFig3Mislabelling(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		f, err := r.Figure3(faultinject.Mislabel,
+			[]string{models.ConvNet, models.MobileNet}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			f.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig3Removal regenerates Fig. 3e-h (AD under removal on GTSRB*)
+// for the same two-model slice.
+func BenchmarkFig3Removal(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		f, err := r.Figure3(faultinject.Remove,
+			[]string{models.ConvNet, models.MobileNet}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			f.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig4Mislabelling regenerates Fig. 4a/c/e (ResNet50 AD under
+// mislabelling across datasets) on the CIFAR-10* and Pneumonia* panels;
+// the GTSRB* panel is shared with Fig. 3 (run `tdfmbench -exp
+// fig4-mislabel` for all three).
+func BenchmarkFig4Mislabelling(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		f, err := r.Figure4(models.ResNet50, faultinject.Mislabel,
+			[]string{"cifar10like", "pneumonialike"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			f.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig4Repetition regenerates Fig. 4b/d/f (MobileNet AD under
+// repetition across datasets) on the GTSRB* and Pneumonia* panels.
+func BenchmarkFig4Repetition(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		f, err := r.Figure4(models.MobileNet, faultinject.Repeat,
+			[]string{"gtsrblike", "pneumonialike"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			f.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkCombinedFaults regenerates the §IV-C combined-fault-type
+// comparison (GTSRB*, ConvNet, 30% rates).
+func BenchmarkCombinedFaults(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		comps, err := r.CombinedFaults("gtsrblike", models.ConvNet, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiment.RenderCombined(os.Stdout, comps)
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the §IV-E runtime-overhead analysis. It
+// needs uncached timings, so it uses its own fresh runner per iteration.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fresh := experiment.NewRunner(datagen.ScaleTiny, uint64(1000+i), 1)
+		rows, err := fresh.Overhead("gtsrblike", models.ConvNet,
+			[]experiment.FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiment.RenderOverhead(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkAblationEnsembleSize probes the ensemble-size design choice
+// (n = 1, 3, 5) on the Pneumonia* set.
+func BenchmarkAblationEnsembleSize(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		pts, err := r.AblateEnsembleSize("pneumonialike", 0.3, []int{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiment.RenderAblation(os.Stdout, "Ablation: ensemble size (Pneumonia*, 30% mislabelling)", pts)
+		}
+	}
+}
+
+// BenchmarkAblationSmoothingAlpha probes the label-smoothing budget and
+// the relaxation-vs-classic design choice.
+func BenchmarkAblationSmoothingAlpha(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		pts, err := r.AblateSmoothingAlpha("pneumonialike", models.ConvNet, 0.3,
+			[]float64{0.1, 0.25, 0.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiment.RenderAblation(os.Stdout, "Ablation: smoothing α (Pneumonia*, ConvNet, 30% mislabelling)", pts)
+		}
+	}
+}
+
+// BenchmarkAblationKDTemperature probes the distillation temperature.
+func BenchmarkAblationKDTemperature(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		pts, err := r.AblateKDTemperature("pneumonialike", models.ConvNet, 0.3,
+			[]float64{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiment.RenderAblation(os.Stdout, "Ablation: KD temperature (Pneumonia*, ConvNet, 30% mislabelling)", pts)
+		}
+	}
+}
+
+// BenchmarkReverseDelta verifies the §III-C claim that the reverse delta
+// (golden wrong, faulty right) is insignificant relative to the forward AD.
+func BenchmarkReverseDelta(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		fwd, rev, err := r.ReverseDeltaCheck("gtsrblike", models.ConvNet, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("reverse-delta check: forward damage %.1f%%, reverse %.1f%%\n",
+				fwd.Mean*100, rev.Mean*100)
+		}
+	}
+}
+
+// BenchmarkTrainingThroughput measures raw substrate speed: one ConvNet
+// epoch on the GTSRB* training set (useful for comparing machines, and the
+// denominator behind every experiment above).
+func BenchmarkTrainingThroughput(b *testing.B) {
+	r := sharedRunner()
+	train, _, err := r.Dataset("gtsrblike")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh := experiment.NewRunner(datagen.ScaleTiny, uint64(2000+i), 1)
+		fresh.EpochOverride = 1
+		if _, _, err := fresh.Predictions("gtsrblike", "base", models.ConvNet, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = train
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+
+	"tdfm/internal/data"
+	"tdfm/internal/faultinject"
+)
+
+func TestParseSpecsSingle(t *testing.T) {
+	specs, err := ParseSpecs("mislabel@0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Type != faultinject.Mislabel || specs[0].Rate != 0.3 {
+		t.Fatalf("specs = %+v", specs)
+	}
+}
+
+func TestParseSpecsMultiple(t *testing.T) {
+	specs, err := ParseSpecs("mislabel@0.1, removal@0.2 ,repetition@0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	if specs[1].Type != faultinject.Remove || specs[2].Type != faultinject.Repeat {
+		t.Fatalf("aliases not resolved: %+v", specs)
+	}
+}
+
+func TestParseSpecsErrors(t *testing.T) {
+	for _, bad := range []string{"", "mislabel", "mislabel@x", "bogus@0.1", " , "} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Errorf("ParseSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, good := range []string{"tiny", "small", "medium"} {
+		if _, err := parseScale(good); err != nil {
+			t.Errorf("parseScale(%q): %v", good, err)
+		}
+	}
+	if _, err := parseScale("huge"); err == nil {
+		t.Error("parseScale accepted huge")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Full CLI pass on the smallest dataset; output goes to stdout.
+	err := run([]string{"-dataset", "pneumonialike", "-faults", "mislabel@0.2,repeat@0.1", "-protect", "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-dataset", "imagenet"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-faults", "nope@1"}); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunSavesDataset(t *testing.T) {
+	path := t.TempDir() + "/faulted.gob"
+	err := run([]string{"-dataset", "pneumonialike", "-faults", "mislabel@0.5", "-save", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 || ds.NumClasses != 2 {
+		t.Fatalf("saved dataset wrong: %d samples, %d classes", ds.Len(), ds.NumClasses)
+	}
+}

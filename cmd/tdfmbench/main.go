@@ -1,0 +1,221 @@
+// Command tdfmbench regenerates every table and figure of the paper
+// "The Fault in Our Data Stars" (DSN'22) from the Go reproduction.
+//
+// Usage:
+//
+//	tdfmbench -exp <experiment> [-scale tiny|small|medium] [-reps N]
+//	          [-seed S] [-csv out.csv] [-progress]
+//
+// Experiments: table1 table2 table3 table4 motivating fig3-mislabel
+// fig3-removal fig4-mislabel fig4-repetition combined overhead all.
+//
+// The default scale is tiny (seconds to minutes per experiment on one CPU
+// core); small and medium trade time for fidelity. Results are printed as
+// ASCII tables/bar charts; -csv additionally writes the raw series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/models"
+	"tdfm/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tdfmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tdfmbench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment to run (table1|table2|table3|table4|motivating|fig3-mislabel|fig3-removal|fig4-mislabel|fig4-repetition|combined|overhead|ablate-ens|ablate-ls|ablate-lc|ablate-kd|reverse-ad|all)")
+		scaleStr = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
+		reps     = fs.Int("reps", 3, "repetitions per configuration (paper: 20)")
+		seed     = fs.Uint64("seed", 1, "root random seed")
+		csvPath  = fs.String("csv", "", "write raw experiment data as CSV to this path")
+		progress = fs.Bool("progress", false, "print one line per trained model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	r := experiment.NewRunner(scale, *seed, *reps)
+	if *progress {
+		r.Progress = os.Stderr
+	}
+
+	var csvTable *report.Table
+	out := os.Stdout
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			return experiment.RenderTable1(out)
+		case "table2":
+			return r.RenderTable2(out)
+		case "table3":
+			experiment.RenderTable3(out)
+			return nil
+		case "table4":
+			t4, err := r.Table4(nil, nil)
+			if err != nil {
+				return err
+			}
+			tbl := t4.Table()
+			tbl.Render(out)
+			csvTable = tbl
+			return nil
+		case "motivating":
+			m, err := r.Motivating()
+			if err != nil {
+				return err
+			}
+			m.Render(out)
+			return nil
+		case "fig3-mislabel":
+			f, err := r.Figure3(faultinject.Mislabel, nil, nil)
+			if err != nil {
+				return err
+			}
+			f.Render(out)
+			csvTable = f.Table()
+			return nil
+		case "fig3-removal":
+			f, err := r.Figure3(faultinject.Remove, nil, nil)
+			if err != nil {
+				return err
+			}
+			f.Render(out)
+			csvTable = f.Table()
+			return nil
+		case "fig4-mislabel":
+			f, err := r.Figure4(models.ResNet50, faultinject.Mislabel, nil, nil)
+			if err != nil {
+				return err
+			}
+			f.Render(out)
+			csvTable = f.Table()
+			return nil
+		case "fig4-repetition":
+			f, err := r.Figure4(models.MobileNet, faultinject.Repeat, nil, nil)
+			if err != nil {
+				return err
+			}
+			f.Render(out)
+			csvTable = f.Table()
+			return nil
+		case "combined":
+			comps, err := r.CombinedFaults("gtsrblike", models.ConvNet, 0.3)
+			if err != nil {
+				return err
+			}
+			experiment.RenderCombined(out, comps)
+			return nil
+		case "overhead":
+			rows, err := r.Overhead("gtsrblike", models.ConvNet,
+				[]experiment.FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}})
+			if err != nil {
+				return err
+			}
+			experiment.RenderOverhead(out, rows)
+			return nil
+		case "ablate-ens":
+			pts, err := r.AblateEnsembleSize("gtsrblike", 0.3, []int{1, 3, 5})
+			if err != nil {
+				return err
+			}
+			experiment.RenderAblation(out, "Ablation: ensemble size (GTSRB*, 30% mislabelling)", pts)
+			return nil
+		case "ablate-ls":
+			pts, err := r.AblateSmoothingAlpha("pneumonialike", models.ConvNet, 0.3,
+				[]float64{0.05, 0.1, 0.25, 0.4})
+			if err != nil {
+				return err
+			}
+			experiment.RenderAblation(out, "Ablation: label smoothing α, relaxation vs classic (Pneumonia*, ConvNet, 30% mislabelling)", pts)
+			return nil
+		case "ablate-lc":
+			pts, err := r.AblateCleanFraction("cifar10like", models.ConvNet, 0.3,
+				[]float64{0.05, 0.1, 0.2})
+			if err != nil {
+				return err
+			}
+			experiment.RenderAblation(out, "Ablation: label-correction clean fraction γ (CIFAR-10*, ConvNet, 30% mislabelling)", pts)
+			return nil
+		case "ablate-kd":
+			pts, err := r.AblateKDTemperature("gtsrblike", models.ConvNet, 0.3,
+				[]float64{1, 3, 5})
+			if err != nil {
+				return err
+			}
+			experiment.RenderAblation(out, "Ablation: distillation temperature T (GTSRB*, ConvNet, 30% mislabelling)", pts)
+			return nil
+		case "reverse-ad":
+			fwd, rev, err := r.ReverseDeltaCheck("gtsrblike", models.ConvNet, 0.3)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "Reverse-delta check (§III-C, GTSRB*, ConvNet, 30%% mislabelling):\n")
+			fmt.Fprintf(out, "  forward damage rate: %.1f%% ±%.1f (of all test images)\n", fwd.Mean*100, fwd.CI95*100)
+			fmt.Fprintf(out, "  reverse delta:       %.1f%% ±%.1f (paper: not significant)\n", rev.Mean*100, rev.CI95*100)
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "table3", "table4", "motivating",
+			"fig3-mislabel", "fig3-removal", "fig4-mislabel", "fig4-repetition",
+			"combined", "overhead", "ablate-ens", "ablate-ls", "ablate-lc",
+			"ablate-kd", "reverse-ad"}
+	}
+	for _, name := range names {
+		fmt.Fprintf(out, "===== %s =====\n", name)
+		if err := runOne(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *csvPath != "" {
+		if csvTable == nil {
+			return fmt.Errorf("-csv given but experiment %q produces no CSV table", *exp)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *csvPath, err)
+		}
+		defer f.Close()
+		if err := csvTable.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func parseScale(s string) (datagen.Scale, error) {
+	switch s {
+	case "tiny":
+		return datagen.ScaleTiny, nil
+	case "small":
+		return datagen.ScaleSmall, nil
+	case "medium":
+		return datagen.ScaleMedium, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want tiny|small|medium)", s)
+	}
+}

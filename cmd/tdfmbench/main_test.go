@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "medium"} {
+		if _, err := parseScale(s); err != nil {
+			t.Errorf("parseScale(%q): %v", s, err)
+		}
+	}
+	if _, err := parseScale(""); err == nil {
+		t.Error("empty scale accepted")
+	}
+}
+
+func TestRunStaticExperiments(t *testing.T) {
+	// The survey, dataset, and architecture tables involve no training and
+	// must render instantly.
+	for _, exp := range []string{"table1", "table2", "table3"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table9"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsCSVWithoutTable(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-csv", t.TempDir() + "/x.csv"}); err == nil {
+		t.Fatal("csv for non-tabular experiment accepted")
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Command trainmodel trains a single (model, dataset, technique)
+// configuration — optionally with injected faults — reports accuracy and
+// AD against a golden model, and can save/load model weights.
+//
+// Usage:
+//
+//	trainmodel -model resnet18 -dataset gtsrblike -technique ls \
+//	           -faults mislabel@0.3 [-epochs 16] [-save weights.gob]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tdfm/internal/core"
+	"tdfm/internal/datagen"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/metrics"
+	"tdfm/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trainmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trainmodel", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "convnet", "architecture name")
+		dataset  = fs.String("dataset", "gtsrblike", "dataset: cifar10like|gtsrblike|pneumonialike")
+		tech     = fs.String("technique", "base", "TDFM technique: base|ls|lc|rl|kd|ens")
+		faults   = fs.String("faults", "", "comma-separated fault specs type@rate (empty = clean)")
+		epochs   = fs.Int("epochs", 0, "training epochs (0 = architecture default)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		scaleStr = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
+		clean    = fs.Float64("clean", 0.1, "clean fraction reserved for label correction")
+		save     = fs.String("save", "", "write the trained technique model's weights to this path (gob)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	cfg, ok := datagen.Presets(scale, *seed)[*dataset]
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	train, test, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	technique, err := core.Get(*tech)
+	if err != nil {
+		return err
+	}
+
+	// Golden model: baseline on clean data.
+	tcfg := core.Config{Arch: *model, Epochs: *epochs}
+	fmt.Printf("training golden %s on clean %s (%d samples)…\n", *model, *dataset, train.Len())
+	golden, err := core.Baseline{}.Train(tcfg, core.TrainSet{Data: train}, xrand.New(*seed).Split("golden"))
+	if err != nil {
+		return err
+	}
+	gp := golden.Predict(test.X)
+	fmt.Printf("golden accuracy: %.1f%%\n", metrics.Accuracy(gp, test.Labels)*100)
+
+	// Inject faults (protecting the clean subset).
+	ts := core.TrainSet{Data: train}
+	if *faults != "" {
+		specs, err := parseSpecs(*faults)
+		if err != nil {
+			return err
+		}
+		cleanIdx := train.StratifiedIndices(*clean, xrand.New(*seed).Split("clean"))
+		inj := faultinject.New(xrand.New(*seed).Split("inject"))
+		inj.Protect(cleanIdx)
+		faulty, reports, err := inj.Inject(train, specs...)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			fmt.Printf("injected %s at %.0f%%: %d samples affected (%d → %d)\n",
+				rep.Spec.Type, rep.Spec.Rate*100, len(rep.Affected), rep.SizeBefore, rep.SizeAfter)
+		}
+		ts = core.TrainSet{Data: faulty, CleanIndices: cleanIdx}
+	}
+
+	fmt.Printf("training %s (%s) …\n", technique.Name(), technique.Description())
+	start := time.Now()
+	clf, err := technique.Train(tcfg, ts, xrand.New(*seed).Split("technique"))
+	if err != nil {
+		return err
+	}
+	dur := time.Since(start)
+	fp := clf.Predict(test.X)
+	fmt.Printf("technique accuracy: %.1f%%  AD vs golden: %.1f%%  (train %s)\n",
+		metrics.Accuracy(fp, test.Labels)*100,
+		metrics.AccuracyDelta(gp, fp, test.Labels)*100,
+		dur.Round(time.Millisecond))
+	conf := metrics.Confusion(gp, fp, test.Labels)
+	fmt.Printf("confusion: both-correct %d, only-golden %d, only-technique %d, both-wrong %d\n",
+		conf.BothCorrect, conf.OnlyGolden, conf.OnlyFaulty, conf.BothWrong)
+
+	if *save != "" {
+		snap, ok := clf.(core.Snapshotter)
+		if !ok {
+			return fmt.Errorf("technique %q produces a multi-model classifier; -save supports single-network techniques", *tech)
+		}
+		f, err := os.Create(*save)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *save, err)
+		}
+		defer f.Close()
+		if err := snap.Snapshot().Encode(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved weights to %s\n", *save)
+	}
+	return nil
+}
+
+func parseSpecs(s string) ([]faultinject.Spec, error) {
+	var specs []faultinject.Spec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ty, rate, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad fault spec %q (want type@rate)", part)
+		}
+		ft, err := faultinject.ParseType(ty)
+		if err != nil {
+			return nil, err
+		}
+		r, err := strconv.ParseFloat(rate, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate in %q: %w", part, err)
+		}
+		specs = append(specs, faultinject.Spec{Type: ft, Rate: r})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no fault specs in %q", s)
+	}
+	return specs, nil
+}
+
+func parseScale(s string) (datagen.Scale, error) {
+	switch s {
+	case "tiny":
+		return datagen.ScaleTiny, nil
+	case "small":
+		return datagen.ScaleSmall, nil
+	case "medium":
+		return datagen.ScaleMedium, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}

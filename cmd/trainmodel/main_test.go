@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSpecsAndScale(t *testing.T) {
+	specs, err := parseSpecs("remove@0.5")
+	if err != nil || len(specs) != 1 {
+		t.Fatalf("parseSpecs: %v %v", specs, err)
+	}
+	if _, err := parseSpecs("remove"); err == nil {
+		t.Fatal("missing rate accepted")
+	}
+	if _, err := parseScale("small"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseScale("galactic"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestRunTrainsAndSaves(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "w.gob")
+	err := run([]string{
+		"-model", "convnet", "-dataset", "pneumonialike",
+		"-technique", "ls", "-faults", "mislabel@0.2",
+		"-epochs", "4", "-save", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("weights not written: %v", err)
+	}
+}
+
+func TestRunRejectsEnsembleSave(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-model", "convnet", "-dataset", "pneumonialike",
+		"-technique", "ens", "-epochs", "2",
+		"-save", filepath.Join(dir, "w.gob"),
+	})
+	if err == nil {
+		t.Fatal("saving an ensemble as one snapshot should be rejected")
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	if err := run([]string{"-model", "alexnet"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-technique", "magic"}); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+	if err := run([]string{"-dataset", "imagenet"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

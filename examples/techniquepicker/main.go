@@ -1,0 +1,106 @@
+// Techniquepicker answers the paper's core question — "how should a
+// developer select a TDFM technique?" — for a user-supplied scenario.
+//
+// Given a dataset, an architecture, an expected fault type/rate, and a
+// resource budget, it measures every applicable technique's AD and
+// overhead, then prints a recommendation following the paper's decision
+// rule: pick the lowest-AD technique whose overhead fits the budget
+// (ensembles win on resilience, label smoothing on efficiency).
+//
+// Run with: go run ./examples/techniquepicker [-dataset ...] [-model ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dataset  = flag.String("dataset", "pneumonialike", "dataset: cifar10like|gtsrblike|pneumonialike")
+		model    = flag.String("model", "convnet", "architecture the application will deploy")
+		fault    = flag.String("fault", "mislabel", "expected fault type: mislabel|repeat|remove")
+		rate     = flag.Float64("rate", 0.3, "expected fault rate")
+		budget   = flag.Float64("budget", 10, "max acceptable training overhead (x baseline)")
+		infLimit = flag.Float64("inference-budget", 5, "max acceptable inference overhead (x baseline)")
+		reps     = flag.Int("reps", 2, "measurement repetitions")
+	)
+	flag.Parse()
+
+	ft, err := faultinject.ParseType(*fault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := experiment.NewRunner(datagen.ScaleTiny, 99, *reps)
+
+	fmt.Printf("scenario: %s on %s, expecting %s faults at %.0f%%\n",
+		*model, *dataset, ft, *rate*100)
+	fmt.Printf("budgets: training ≤%.1fx, inference ≤%.1fx\n\n", *budget, *infLimit)
+
+	specs := []experiment.FaultSpec{{Type: ft, Rate: *rate}}
+	baseCell, err := r.MeasureAD(*dataset, "base", *model, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		tech    string
+		ad      float64
+		ci      float64
+		trainOH float64
+		inferOH float64
+		fits    bool
+	}
+	var rows []row
+	for _, tech := range experiment.TechniquesFor(ft) {
+		cell, err := r.MeasureAD(*dataset, tech, *model, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainOH := 1.0
+		if baseCell.TrainDur > 0 {
+			trainOH = float64(cell.TrainDur) / float64(baseCell.TrainDur)
+		}
+		inferOH := 1.0
+		if tech == "ens" {
+			inferOH = 5
+		}
+		rows = append(rows, row{
+			tech:    tech,
+			ad:      cell.AD.Mean,
+			ci:      cell.AD.CI95,
+			trainOH: trainOH,
+			inferOH: inferOH,
+			fits:    trainOH <= *budget && inferOH <= *infLimit,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ad < rows[j].ad })
+
+	fmt.Println("technique ranking (lower AD = more resilient):")
+	for i, row := range rows {
+		status := "within budget"
+		if !row.fits {
+			status = "OVER BUDGET"
+		}
+		fmt.Printf("  %d. %-5s AD %5.1f%% ±%4.1f  train %4.1fx  inference %1.0fx  [%s]\n",
+			i+1, row.tech, row.ad*100, row.ci*100, row.trainOH, row.inferOH, status)
+	}
+
+	for _, row := range rows {
+		if row.fits && row.tech != "base" {
+			fmt.Printf("\nrecommendation: use %q — lowest AD among techniques within budget.\n", row.tech)
+			if row.tech != rows[0].tech {
+				fmt.Printf("(%q is more resilient but exceeds your budget.)\n", rows[0].tech)
+			}
+			return
+		}
+	}
+	fmt.Println("\nrecommendation: no protected technique fits the budget; raise the budget or accept baseline risk.")
+}

@@ -1,0 +1,104 @@
+package tdfm
+
+import (
+	"testing"
+)
+
+func TestFacadeDatasetPresets(t *testing.T) {
+	cases := []struct {
+		cfg     DatasetConfig
+		classes int
+		ch      int
+	}{
+		{CIFAR10Like(ScaleTiny, 1), 10, 3},
+		{GTSRBLike(ScaleTiny, 1), 43, 3},
+		{PneumoniaLike(ScaleTiny, 1), 2, 1},
+	}
+	for _, c := range cases {
+		if c.cfg.NumClasses != c.classes || c.cfg.Channels != c.ch {
+			t.Errorf("%s: classes/channels %d/%d", c.cfg.Name, c.cfg.NumClasses, c.cfg.Channels)
+		}
+		train, test, err := GenerateDataset(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.cfg.Name, err)
+		}
+		if train.Len() != c.cfg.TrainN || test.Len() != c.cfg.TestN {
+			t.Errorf("%s: sizes %d/%d", c.cfg.Name, train.Len(), test.Len())
+		}
+	}
+}
+
+func TestFacadeFaultTypes(t *testing.T) {
+	train, _, err := GenerateDataset(PneumoniaLike(ScaleTiny, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []FaultSpec{
+		{Type: Mislabel, Rate: 0.2},
+		{Type: Repeat, Rate: 0.2},
+		{Type: Remove, Rate: 0.2},
+	} {
+		out, reps, err := InjectFaults(train, 3, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Type, err)
+		}
+		if len(reps) != 1 {
+			t.Fatalf("%s: %d reports", spec.Type, len(reps))
+		}
+		switch spec.Type {
+		case Mislabel:
+			if out.Len() != train.Len() {
+				t.Error("mislabel changed size")
+			}
+		case Repeat:
+			if out.Len() <= train.Len() {
+				t.Error("repeat did not grow")
+			}
+		case Remove:
+			if out.Len() >= train.Len() {
+				t.Error("remove did not shrink")
+			}
+		}
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	labels := []int{0, 1, 1, 0}
+	golden := []int{0, 1, 0, 0} // 3 correct
+	faulty := []int{1, 1, 0, 0} // loses index 0
+	if got := Accuracy(golden, labels); got != 0.75 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := AccuracyDelta(golden, faulty, labels); got != 1.0/3 {
+		t.Fatalf("AD = %v", got)
+	}
+}
+
+func TestFacadeRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("facade RNG not deterministic")
+		}
+	}
+}
+
+func TestFacadeRunnerConstructs(t *testing.T) {
+	r := NewRunner(ScaleTiny, 1, 1)
+	if r == nil {
+		t.Fatal("nil runner")
+	}
+	train, test, err := r.Dataset("pneumonialike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() == 0 || test.Len() == 0 {
+		t.Fatal("runner datasets empty")
+	}
+}
+
+func TestFacadeUnknownTechnique(t *testing.T) {
+	if _, err := NewTechnique("autoclean"); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module tdfm
+
+go 1.24

@@ -1,0 +1,139 @@
+// Integration tests exercising the full study protocol through the public
+// facade: dataset synthesis → golden training → fault injection →
+// mitigation → AD measurement. These are the end-to-end checks that the
+// paper's qualitative findings reproduce at test scale.
+package tdfm
+
+import (
+	"testing"
+
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/models"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	train, test, err := GenerateDataset(GTSRBLike(ScaleTiny, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, reports, err := InjectFaults(train, 7, FaultSpec{Type: Mislabel, Rate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || len(reports[0].Affected) == 0 {
+		t.Fatal("injection did nothing")
+	}
+
+	base, err := NewTechnique("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrainConfig{Arch: "convnet", Epochs: 8}
+	golden, err := base.Train(cfg, TrainSet{Data: train}, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyModel, err := base.Train(cfg, TrainSet{Data: faulty}, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, fp := golden.Predict(test.X), faultyModel.Predict(test.X)
+
+	goldenAcc := Accuracy(gp, test.Labels)
+	faultyAcc := Accuracy(fp, test.Labels)
+	ad := AccuracyDelta(gp, fp, test.Labels)
+	if goldenAcc < 0.6 {
+		t.Fatalf("golden accuracy %.2f too low to be meaningful", goldenAcc)
+	}
+	// The central premise: mislabelling faults must hurt.
+	if faultyAcc >= goldenAcc {
+		t.Fatalf("30%% mislabelling did not reduce accuracy (%.2f -> %.2f)", goldenAcc, faultyAcc)
+	}
+	if ad <= 0 {
+		t.Fatalf("AD %.2f should be positive under faults", ad)
+	}
+}
+
+func TestTechniquesListMatchesRegistry(t *testing.T) {
+	names := Techniques()
+	if len(names) != 6 {
+		t.Fatalf("%d techniques", len(names))
+	}
+	for _, n := range names {
+		if _, err := NewTechnique(n); err != nil {
+			t.Fatalf("listed technique %s not constructible: %v", n, err)
+		}
+	}
+}
+
+// TestHeadlineFindingEnsembleMostResilient verifies Observation 3 at test
+// scale: the paper's 5-member diverse ensemble has lower AD than the
+// unprotected baseline under mislabelling.
+func TestHeadlineFindingEnsembleMostResilient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	// Architecture-default epochs: the deep ensemble members need their
+	// full schedules to be useful voters.
+	r := experiment.NewRunner(datagen.ScaleTiny, 5, 2)
+	specs := []experiment.FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}}
+
+	baseCell, err := r.MeasureAD("pneumonialike", "base", models.ConvNet, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensCell, err := r.MeasureAD("pneumonialike", "ens", models.ConvNet, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ensCell.AD.Mean > baseCell.AD.Mean+0.05 {
+		t.Fatalf("ensemble AD %.2f should not exceed baseline AD %.2f",
+			ensCell.AD.Mean, baseCell.AD.Mean)
+	}
+	t.Logf("baseline AD %.2f, 5-member ensemble AD %.2f", baseCell.AD.Mean, ensCell.AD.Mean)
+}
+
+// TestRemovalGentlerThanMislabelling verifies the §IV-C observation that
+// removal faults do far less damage than mislabelling at the same rate.
+func TestRemovalGentlerThanMislabelling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	r := experiment.NewRunner(datagen.ScaleTiny, 9, 2)
+	r.EpochOverride = 8
+	mis, err := r.MeasureAD("gtsrblike", "base", models.ConvNet,
+		[]experiment.FaultSpec{{Type: faultinject.Mislabel, Rate: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := r.MeasureAD("gtsrblike", "base", models.ConvNet,
+		[]experiment.FaultSpec{{Type: faultinject.Remove, Rate: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem.AD.Mean >= mis.AD.Mean {
+		t.Fatalf("removal AD %.2f should be below mislabelling AD %.2f (§IV-C)",
+			rem.AD.Mean, mis.AD.Mean)
+	}
+	t.Logf("mislabel AD %.2f vs removal AD %.2f", mis.AD.Mean, rem.AD.Mean)
+}
+
+// TestReverseDeltaInsignificant verifies the §III-C claim underpinning the
+// AD metric.
+func TestReverseDeltaInsignificant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	r := experiment.NewRunner(datagen.ScaleTiny, 13, 2)
+	r.EpochOverride = 8
+	fwd, rev, err := r.ReverseDeltaCheck("gtsrblike", models.ConvNet, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Mean > fwd.Mean {
+		t.Fatalf("reverse delta %.2f exceeds forward AD %.2f — AD metric premise violated",
+			rev.Mean, fwd.Mean)
+	}
+}

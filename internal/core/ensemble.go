@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"tdfm/internal/loss"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// Ensemble is the study's Ensemble representative (§III-B5): n
+// architecturally diverse models trained independently on the same
+// (possibly faulty) data, combined at inference by simple majority vote
+// with ties broken by summed softmax mass. The paper's ensemble uses the
+// five models with the lowest baseline AD: ConvNet, MobileNet, ResNet18,
+// VGG11, VGG16.
+type Ensemble struct {
+	Members []string // architecture names from the model registry
+}
+
+var _ Technique = (*Ensemble)(nil)
+
+// NewEnsemble returns an ensemble over the given member architectures.
+func NewEnsemble(members []string) *Ensemble {
+	return &Ensemble{Members: append([]string(nil), members...)}
+}
+
+// Name implements Technique.
+func (*Ensemble) Name() string { return "ens" }
+
+// Description implements Technique.
+func (e *Ensemble) Description() string {
+	return fmt.Sprintf("majority-vote ensemble of %d diverse architectures", len(e.Members))
+}
+
+// ModelsTrained implements Technique.
+func (e *Ensemble) ModelsTrained() int { return len(e.Members) }
+
+// ModelsAtInference implements Technique.
+func (e *Ensemble) ModelsAtInference() int { return len(e.Members) }
+
+// Train fits every member with cross entropy. The cfg.Arch field is ignored
+// (members carry their own architectures); epochs/LR overrides apply to all
+// members.
+func (e *Ensemble) Train(cfg Config, ts TrainSet, rng *xrand.RNG) (Classifier, error) {
+	if len(e.Members) == 0 {
+		return nil, fmt.Errorf("core: ensemble has no members")
+	}
+	members := make([]Classifier, 0, len(e.Members))
+	for _, arch := range e.Members {
+		mcfg := cfg
+		mcfg.Arch = arch
+		// Each member uses its architecture's own default epochs/LR unless
+		// explicitly overridden.
+		c, bm, err := mcfg.buildFor(ts.Data, rng.Split("init-"+arch))
+		if err != nil {
+			return nil, fmt.Errorf("core: ensemble member %s: %w", arch, err)
+		}
+		if err := trainLoop(bm.net, ts.Data, loss.CrossEntropy{}, mcfg, rng.Split("train-"+arch), nil, nil); err != nil {
+			return nil, fmt.Errorf("core: ensemble member %s: %w", arch, err)
+		}
+		members = append(members, c)
+	}
+	return &VotingClassifier{Members: members, Classes: ts.Data.NumClasses}, nil
+}
+
+// VotingClassifier combines member classifiers by majority vote.
+type VotingClassifier struct {
+	Members []Classifier
+	Classes int
+}
+
+var _ Classifier = (*VotingClassifier)(nil)
+
+// PredictProbs returns the mean of the members' probability outputs
+// (used for tie-breaking and by callers needing calibrated scores).
+func (v *VotingClassifier) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	if len(v.Members) == 0 {
+		panic("core: empty VotingClassifier")
+	}
+	sum := v.Members[0].PredictProbs(x)
+	for _, m := range v.Members[1:] {
+		sum.AddIn(m.PredictProbs(x))
+	}
+	return sum.ScaleIn(1 / float64(len(v.Members)))
+}
+
+// Predict returns the simple-majority class per row; ties are broken by the
+// summed softmax mass over the tied classes.
+func (v *VotingClassifier) Predict(x *tensor.Tensor) []int {
+	n := x.Dim(0)
+	votes := make([][]int, n)
+	for i := range votes {
+		votes[i] = make([]int, v.Classes)
+	}
+	probSum := tensor.New(n, v.Classes)
+	for _, m := range v.Members {
+		probs := m.PredictProbs(x)
+		probSum.AddIn(probs)
+		for i, c := range probs.ArgMaxRows() {
+			votes[i][c]++
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		best, bestVotes := 0, -1
+		for c, nv := range votes[i] {
+			switch {
+			case nv > bestVotes:
+				best, bestVotes = c, nv
+			case nv == bestVotes && probSum.At(i, c) > probSum.At(i, best):
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"tdfm/internal/data"
+	"tdfm/internal/loss"
+	"tdfm/internal/nn"
+	"tdfm/internal/opt"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// builtModel wraps a network as a Classifier and carries its training
+// configuration.
+type builtModel struct {
+	net     *nn.Sequential
+	cfg     Config
+	classes int
+}
+
+var _ Classifier = (*builtModel)(nil)
+
+// predictBatch bounds memory use during inference.
+const predictBatch = 128
+
+// PredictProbs runs inference in batches and returns softmax probabilities.
+func (m *builtModel) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	out := tensor.New(n, m.classes)
+	ss := x.Size() / n
+	for start := 0; start < n; start += predictBatch {
+		end := start + predictBatch
+		if end > n {
+			end = n
+		}
+		shape := x.Shape()
+		shape[0] = end - start
+		chunk := tensor.New(shape...)
+		copy(chunk.Data(), x.Data()[start*ss:end*ss])
+		probs := loss.Softmax(m.net.Forward(chunk, false))
+		copy(out.Data()[start*m.classes:end*m.classes], probs.Data())
+	}
+	return out
+}
+
+// Predict returns argmax classes.
+func (m *builtModel) Predict(x *tensor.Tensor) []int {
+	return m.PredictProbs(x).ArgMaxRows()
+}
+
+// batchTargets lets training loops substitute per-batch targets (label
+// correction rewrites them; distillation augments them). The default
+// returns one-hot encodings of the dataset labels.
+type batchTargets func(batchX *tensor.Tensor, batchLabels []int) *tensor.Tensor
+
+// epochHook runs after each epoch with the epoch index and mean loss.
+type epochHook func(epoch int, meanLoss float64)
+
+// trainLoop is the shared SGD loop: shuffle, batch, forward, loss,
+// backward, step. It returns an error if the loss diverges to NaN.
+func trainLoop(
+	net *nn.Sequential,
+	ds *data.Dataset,
+	lossFn loss.Loss,
+	cfg Config,
+	rng *xrand.RNG,
+	targets batchTargets,
+	hook epochHook,
+) error {
+	resolved, _, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	if targets == nil {
+		targets = func(_ *tensor.Tensor, labels []int) *tensor.Tensor {
+			return data.OneHot(labels, ds.NumClasses)
+		}
+	}
+	optimizer := opt.NewAdam(resolved.LR)
+	schedule := opt.CosineDecay{Total: resolved.Epochs}
+	shuffleRNG := rng.Split("shuffle")
+	for epoch := 0; epoch < resolved.Epochs; epoch++ {
+		optimizer.SetLR(resolved.LR * schedule.Factor(epoch))
+		shuffled := ds.Shuffled(shuffleRNG)
+		totalLoss, batches := 0.0, 0
+		for start := 0; start < shuffled.Len(); start += resolved.BatchSize {
+			bx, by := shuffled.Batch(start, resolved.BatchSize)
+			logits := net.Forward(bx, true)
+			l, grad := lossFn.Forward(logits, targets(bx, by))
+			if l != l { // NaN
+				return fmt.Errorf("core: loss diverged to NaN at epoch %d", epoch)
+			}
+			net.Backward(grad)
+			optimizer.Step(net.Params())
+			nn.ZeroGrads(net)
+			totalLoss += l
+			batches++
+		}
+		if hook != nil && batches > 0 {
+			hook(epoch, totalLoss/float64(batches))
+		}
+	}
+	return nil
+}
+
+// Accuracy returns the fraction of test examples classified correctly.
+func Accuracy(c Classifier, test *data.Dataset) float64 {
+	pred := c.Predict(test.X)
+	correct := 0
+	for i, p := range pred {
+		if p == test.Labels[i] {
+			correct++
+		}
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// Snapshotter is implemented by classifiers whose weights can be captured
+// and restored (single-network classifiers; ensembles are not snapshotable
+// as one unit — snapshot their members individually).
+type Snapshotter interface {
+	Snapshot() *nn.Snapshot
+	RestoreSnapshot(*nn.Snapshot) error
+}
+
+var _ Snapshotter = (*builtModel)(nil)
+
+// Snapshot captures the model's current weights.
+func (m *builtModel) Snapshot() *nn.Snapshot { return nn.TakeSnapshot(m.net) }
+
+// RestoreSnapshot installs previously captured weights.
+func (m *builtModel) RestoreSnapshot(s *nn.Snapshot) error { return s.Restore(m.net) }

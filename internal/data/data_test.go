@@ -1,0 +1,208 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+func smallDataset(t *testing.T, n, classes int) *Dataset {
+	t.Helper()
+	x := tensor.New(n, 1, 2, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % classes
+		for j := 0; j < 4; j++ {
+			x.Data()[i*4+j] = float64(i) // every row holds its own index
+		}
+	}
+	d, err := New("toy", x, labels, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	x := tensor.New(3, 1, 2, 2)
+	if _, err := New("d", x, []int{0, 1}, 2); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := New("d", x, []int{0, 1, 2}, 2); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := New("d", x, []int{0, 0, 0}, 1); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := New("d", tensor.New(3, 4), []int{0, 0, 0}, 2); err == nil {
+		t.Fatal("2-d input accepted")
+	}
+}
+
+func TestDims(t *testing.T) {
+	d := smallDataset(t, 6, 3)
+	if d.Len() != 6 || d.Channels() != 1 || d.Height() != 2 || d.Width() != 2 {
+		t.Fatal("dimension accessors wrong")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	d := smallDataset(t, 4, 2)
+	c := d.Clone()
+	c.Labels[0] = 1
+	c.X.Data()[0] = 99
+	if d.Labels[0] != 0 || d.X.Data()[0] != 0 {
+		t.Fatal("Clone aliased original")
+	}
+}
+
+func TestSubsetContentAndIsolation(t *testing.T) {
+	d := smallDataset(t, 10, 5)
+	s := d.Subset([]int{7, 2})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.X.Data()[0] != 7 || s.X.Data()[4] != 2 {
+		t.Fatal("Subset picked wrong rows")
+	}
+	if s.Labels[0] != 7%5 || s.Labels[1] != 2 {
+		t.Fatal("Subset labels wrong")
+	}
+	s.X.Data()[0] = -1
+	if d.X.Data()[28] == -1 {
+		t.Fatal("Subset aliased original")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	d := smallDataset(t, 10, 2)
+	in, out := d.Split([]int{1, 3, 5})
+	if in.Len() != 3 || out.Len() != 7 {
+		t.Fatalf("Split sizes %d/%d", in.Len(), out.Len())
+	}
+	// Every original row appears exactly once across the two halves.
+	seen := map[float64]int{}
+	for i := 0; i < in.Len(); i++ {
+		seen[in.X.Data()[i*4]]++
+	}
+	for i := 0; i < out.Len(); i++ {
+		seen[out.X.Data()[i*4]]++
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %v appeared %d times", v, c)
+		}
+	}
+}
+
+func TestBatchTruncation(t *testing.T) {
+	d := smallDataset(t, 5, 2)
+	x, labels := d.Batch(3, 4)
+	if x.Dim(0) != 2 || len(labels) != 2 {
+		t.Fatalf("batch size %d, want truncated 2", x.Dim(0))
+	}
+	if x.Data()[0] != 3 || x.Data()[4] != 4 {
+		t.Fatal("batch rows wrong")
+	}
+}
+
+func TestShuffledPreservesMultiset(t *testing.T) {
+	d := smallDataset(t, 20, 4)
+	s := d.Shuffled(xrand.New(1))
+	if s.Len() != 20 {
+		t.Fatal("length changed")
+	}
+	hist := s.ClassHistogram()
+	want := d.ClassHistogram()
+	for i := range hist {
+		if hist[i] != want[i] {
+			t.Fatal("shuffle changed class histogram")
+		}
+	}
+	// Rows still carry matching label: row value v has label v mod 4.
+	for i := 0; i < s.Len(); i++ {
+		v := int(s.X.Data()[i*4])
+		if s.Labels[i] != v%4 {
+			t.Fatal("shuffle broke row/label pairing")
+		}
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	oh := OneHot([]int{2, 0}, 3)
+	if oh.At(0, 2) != 1 || oh.At(1, 0) != 1 || oh.Sum() != 2 {
+		t.Fatalf("OneHot wrong: %v", oh)
+	}
+}
+
+func TestOneHotPanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneHot([]int{3}, 3)
+}
+
+func TestStratifiedIndicesProportional(t *testing.T) {
+	d := smallDataset(t, 100, 4) // 25 per class
+	idx := d.StratifiedIndices(0.2, xrand.New(2))
+	perClass := make([]int, 4)
+	for _, i := range idx {
+		perClass[d.Labels[i]]++
+	}
+	for c, n := range perClass {
+		if n != 5 {
+			t.Fatalf("class %d got %d samples, want 5", c, n)
+		}
+	}
+}
+
+// Property: a stratified sample never repeats an index and stays in range.
+func TestQuickStratifiedIndicesValid(t *testing.T) {
+	d := smallDataset(t, 60, 3)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%977 + 1)
+		frac := r.Float64()
+		idx := d.StratifiedIndices(frac, r)
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= d.Len() || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainTestSplitDisjointExhaustive(t *testing.T) {
+	d := smallDataset(t, 50, 5)
+	train, test := d.TrainTestSplit(0.8, xrand.New(3))
+	if train.Len() != 40 || test.Len() != 10 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	seen := map[float64]bool{}
+	for i := 0; i < train.Len(); i++ {
+		seen[train.X.Data()[i*4]] = true
+	}
+	for i := 0; i < test.Len(); i++ {
+		v := test.X.Data()[i*4]
+		if seen[v] {
+			t.Fatalf("row %v leaked between train and test", v)
+		}
+	}
+}
+
+func TestClassHistogram(t *testing.T) {
+	d := smallDataset(t, 7, 3)
+	h := d.ClassHistogram()
+	if h[0] != 3 || h[1] != 2 || h[2] != 2 {
+		t.Fatalf("histogram %v", h)
+	}
+}

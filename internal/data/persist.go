@@ -1,0 +1,93 @@
+package data
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"tdfm/internal/tensor"
+)
+
+// savedDataset is the gob wire format for a Dataset. The tensor payload is
+// stored flat with its shape so the format is independent of the tensor
+// package's internal layout.
+type savedDataset struct {
+	Name       string
+	Shape      []int
+	Pixels     []float64
+	Labels     []int
+	NumClasses int
+}
+
+// Encode writes the dataset in gob format.
+func (d *Dataset) Encode(w io.Writer) error {
+	payload := savedDataset{
+		Name:       d.Name,
+		Shape:      d.X.Shape(),
+		Pixels:     d.X.Data(),
+		Labels:     d.Labels,
+		NumClasses: d.NumClasses,
+	}
+	if err := gob.NewEncoder(w).Encode(payload); err != nil {
+		return fmt.Errorf("data: encoding dataset %q: %w", d.Name, err)
+	}
+	return nil
+}
+
+// Decode reads a dataset in gob format, validating shapes and labels.
+func Decode(r io.Reader) (*Dataset, error) {
+	var payload savedDataset
+	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("data: decoding dataset: %w", err)
+	}
+	if len(payload.Shape) != 4 {
+		return nil, fmt.Errorf("data: decoded dataset has %d-d inputs, want 4-d", len(payload.Shape))
+	}
+	vol := 1
+	for _, dim := range payload.Shape {
+		if dim < 0 {
+			return nil, fmt.Errorf("data: decoded dataset has negative dimension in %v", payload.Shape)
+		}
+		vol *= dim
+	}
+	if vol != len(payload.Pixels) {
+		return nil, fmt.Errorf("data: decoded dataset has %d pixels for shape %v", len(payload.Pixels), payload.Shape)
+	}
+	x := newTensorFrom(payload.Pixels, payload.Shape)
+	return New(payload.Name, x, payload.Labels, payload.NumClasses)
+}
+
+// Save writes the dataset to path in gob format.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := d.Encode(w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("data: flushing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a dataset from path.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Decode(bufio.NewReader(f))
+}
+
+// newTensorFrom adapts a flat payload back into a tensor (copying at the
+// boundary, consistent with the rest of the package).
+func newTensorFrom(pixels []float64, shape []int) *tensor.Tensor {
+	return tensor.FromSlice(pixels, shape...)
+}

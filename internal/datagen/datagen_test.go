@@ -1,0 +1,187 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"tdfm/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	good := CIFAR10Like(ScaleTiny, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.NumClasses = 1
+	if bad.Validate() == nil {
+		t.Fatal("single class accepted")
+	}
+	bad = good
+	bad.Signal = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero signal accepted")
+	}
+	bad = good
+	bad.TrainN = 2
+	if bad.Validate() == nil {
+		t.Fatal("tiny train set accepted")
+	}
+}
+
+func TestGenerateShapesAndBalance(t *testing.T) {
+	cfg := CIFAR10Like(ScaleTiny, 7)
+	train, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != cfg.TrainN || test.Len() != cfg.TestN {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	if train.Channels() != 3 || train.Height() != 12 || train.Width() != 12 {
+		t.Fatal("image dims wrong")
+	}
+	// Round-robin class assignment keeps the histogram balanced to ±1.
+	hist := train.ClassHistogram()
+	for c, n := range hist {
+		if n < cfg.TrainN/cfg.NumClasses-1 || n > cfg.TrainN/cfg.NumClasses+1 {
+			t.Fatalf("class %d has %d samples (unbalanced)", c, n)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := GTSRBLike(ScaleTiny, 42)
+	a1, b1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, _ := Generate(cfg)
+	if !a1.X.Equal(a2.X, 0) || !b1.X.Equal(b2.X, 0) {
+		t.Fatal("same seed produced different data")
+	}
+	for i := range a1.Labels {
+		if a1.Labels[i] != a2.Labels[i] {
+			t.Fatal("labels differ")
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	a, _, _ := Generate(CIFAR10Like(ScaleTiny, 1))
+	b, _, _ := Generate(CIFAR10Like(ScaleTiny, 2))
+	if a.X.Equal(b.X, 1e-9) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Nearest-prototype classification on noiseless renders must beat chance
+	// by a wide margin: verifies that class identity is actually encoded.
+	cfg := GTSRBLike(ScaleTiny, 5)
+	cfg.Noise, cfg.Clutter, cfg.Shift = 0, 0, 0
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(9)
+	protos := make([][]float64, cfg.NumClasses)
+	for k := range protos {
+		protos[k] = g.Sample(k, rng)
+	}
+	correct := 0
+	trials := 0
+	noisy := cfg
+	noisy.Noise = cfg.Noise
+	for k := 0; k < cfg.NumClasses; k++ {
+		s := g.Sample(k, rng)
+		best, bestD := -1, math.Inf(1)
+		for j := range protos {
+			d := 0.0
+			for i := range s {
+				diff := s[i] - protos[j][i]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		trials++
+		if best == k {
+			correct++
+		}
+	}
+	if correct < trials*9/10 {
+		t.Fatalf("nearest-prototype accuracy %d/%d too low", correct, trials)
+	}
+}
+
+func TestPneumoniaSmallerThanOthers(t *testing.T) {
+	p := PneumoniaLike(ScaleSmall, 1)
+	c := CIFAR10Like(ScaleSmall, 1)
+	if p.TrainN*2 >= c.TrainN {
+		t.Fatalf("pneumonia (%d) should be much smaller than cifar (%d)", p.TrainN, c.TrainN)
+	}
+	if p.Channels != 1 {
+		t.Fatal("pneumonia must be greyscale")
+	}
+}
+
+func TestPresetsComplete(t *testing.T) {
+	ps := Presets(ScaleTiny, 3)
+	for _, name := range []string{"cifar10like", "gtsrblike", "pneumonialike"} {
+		cfg, ok := ps[name]
+		if !ok {
+			t.Fatalf("preset %s missing", name)
+		}
+		if cfg.Name != name {
+			t.Fatalf("preset %s has name %s", name, cfg.Name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGTSRBHas43Classes(t *testing.T) {
+	if GTSRBLike(ScaleTiny, 1).NumClasses != 43 {
+		t.Fatal("GTSRB stand-in must keep 43 classes (drives the LC finding)")
+	}
+}
+
+func TestScaleFactorsMonotonic(t *testing.T) {
+	tiny := CIFAR10Like(ScaleTiny, 1).TrainN
+	small := CIFAR10Like(ScaleSmall, 1).TrainN
+	medium := CIFAR10Like(ScaleMedium, 1).TrainN
+	if !(tiny < small && small < medium) {
+		t.Fatalf("scales not monotonic: %d %d %d", tiny, small, medium)
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cfg := CIFAR10Like(ScaleTiny, 1)
+	cfg.Height = 1
+	if _, _, err := Generate(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGTZANLikePreset(t *testing.T) {
+	cfg := GTZANLike(ScaleTiny, 3)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumClasses != 10 || cfg.Channels != 1 {
+		t.Fatalf("GTZAN shape wrong: %+v", cfg)
+	}
+	if cfg.Height == cfg.Width {
+		t.Fatal("spectrogram patches should be rectangular (freq != time)")
+	}
+	train, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != cfg.TrainN || test.Len() != cfg.TestN {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+}

@@ -1,0 +1,146 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"tdfm/internal/faultinject"
+	"tdfm/internal/metrics"
+)
+
+func TestAblateEnsembleSizeShape(t *testing.T) {
+	r := fastRunner(1)
+	pts, err := r.AblateEnsembleSize("pneumonialike", 0.2, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Setting != "n=1" || pts[1].Setting != "n=2" {
+		t.Fatalf("settings %+v", pts)
+	}
+	for _, p := range pts {
+		if p.AD.Mean < 0 || p.AD.Mean > 1 {
+			t.Fatalf("AD out of range: %+v", p)
+		}
+	}
+}
+
+func TestAblateEnsembleSizeRejectsBadN(t *testing.T) {
+	r := fastRunner(1)
+	if _, err := r.AblateEnsembleSize("pneumonialike", 0.2, []int{0}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := r.AblateEnsembleSize("pneumonialike", 0.2, []int{6}); err == nil {
+		t.Fatal("n=6 accepted (only 5 members exist)")
+	}
+}
+
+func TestAblateSmoothingAlphaVariants(t *testing.T) {
+	r := fastRunner(1)
+	pts, err := r.AblateSmoothingAlpha("pneumonialike", "convnet", 0.2, []float64{0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 variants × 2 alphas
+		t.Fatalf("%d points", len(pts))
+	}
+	var sawRelax, sawClassic bool
+	for _, p := range pts {
+		if strings.HasPrefix(p.Setting, "relax") {
+			sawRelax = true
+		}
+		if strings.HasPrefix(p.Setting, "classic") {
+			sawClassic = true
+		}
+	}
+	if !sawRelax || !sawClassic {
+		t.Fatalf("missing variant: %+v", pts)
+	}
+}
+
+func TestAblateCleanFractionRestoresRunnerState(t *testing.T) {
+	r := fastRunner(1)
+	orig := r.CleanFrac
+	if _, err := r.AblateCleanFraction("pneumonialike", "convnet", 0.2, []float64{0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if r.CleanFrac != orig {
+		t.Fatalf("CleanFrac leaked: %v != %v", r.CleanFrac, orig)
+	}
+}
+
+func TestAblateKDTemperature(t *testing.T) {
+	r := fastRunner(1)
+	pts, err := r.AblateKDTemperature("pneumonialike", "convnet", 0.2, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Setting != "T=1" || pts[1].Setting != "T=4" {
+		t.Fatalf("points %+v", pts)
+	}
+}
+
+func TestReverseDeltaCheckBounds(t *testing.T) {
+	r := fastRunner(2)
+	fwd, rev, err := r.ReverseDeltaCheck("pneumonialike", "convnet", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{fwd.Mean, rev.Mean} {
+		if s < 0 || s > 1 {
+			t.Fatalf("delta out of range: %v", s)
+		}
+	}
+	if fwd.N != 2 || rev.N != 2 {
+		t.Fatalf("rep counts %d/%d", fwd.N, rev.N)
+	}
+}
+
+func TestRenderAblationOutput(t *testing.T) {
+	var b strings.Builder
+	RenderAblation(&b, "demo", []AblationPoint{
+		{Setting: "n=1", AD: metrics.Summary{N: 1, Mean: 0.4}},
+		{Setting: "n=5", AD: metrics.Summary{N: 1, Mean: 0.1}},
+	})
+	out := b.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "n=5") {
+		t.Fatalf("render missing content: %s", out)
+	}
+}
+
+func TestAblationCustomUnknownDataset(t *testing.T) {
+	r := fastRunner(1)
+	if _, err := r.AblateKDTemperature("imagenet", "convnet", 0.2, []float64{1}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestAblationRespectsFaultSpecValidation(t *testing.T) {
+	r := fastRunner(1)
+	// Rate > 1 must propagate the injector's validation error.
+	if _, err := r.AblateKDTemperature("pneumonialike", "convnet", 1.5, []float64{1}); err == nil {
+		t.Fatal("invalid rate accepted")
+	}
+	_ = faultinject.Mislabel // keep import for clarity of intent
+}
+
+func TestOverheadWorksOnWarmedRunner(t *testing.T) {
+	// Regression: `tdfmbench -exp all` warms the cache with the very cells
+	// Overhead needs fresh timings for; Overhead must still succeed.
+	r := fastRunner(1)
+	specs := []FaultSpec{{Type: faultinject.Mislabel, Rate: 0.2}}
+	if _, err := r.MeasureAD("pneumonialike", "base", "convnet", specs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Overhead("pneumonialike", "convnet", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Technique == "base" && row.TrainOverhead != 1 {
+			t.Fatalf("base overhead %v", row.TrainOverhead)
+		}
+	}
+}

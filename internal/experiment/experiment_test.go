@@ -1,0 +1,361 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"tdfm/internal/datagen"
+	"tdfm/internal/faultinject"
+)
+
+// fastRunner keeps experiment tests quick: tiny data, shallow epochs.
+func fastRunner(reps int) *Runner {
+	r := NewRunner(datagen.ScaleTiny, 1, reps)
+	r.EpochOverride = 4
+	return r
+}
+
+func TestDatasetMemoized(t *testing.T) {
+	r := fastRunner(1)
+	a1, b1, err := r.Dataset("pneumonialike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := r.Dataset("pneumonialike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("dataset not memoized (pointers differ)")
+	}
+}
+
+func TestDatasetUnknown(t *testing.T) {
+	r := fastRunner(1)
+	if _, _, err := r.Dataset("mnist"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPredictionsCached(t *testing.T) {
+	r := fastRunner(1)
+	p1, d1, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 {
+		t.Fatal("first run must report training time")
+	}
+	p2, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheSize() != 1 {
+		t.Fatalf("cache size %d, want 1", r.CacheSize())
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("cached predictions differ")
+		}
+	}
+}
+
+func TestEnsembleCacheSharedAcrossArchs(t *testing.T) {
+	r := fastRunner(1)
+	key1 := r.cellKey("pneumonialike", "ens", "convnet", nil, 0)
+	key2 := r.cellKey("pneumonialike", "ens", "resnet50", nil, 0)
+	if key1 != key2 {
+		t.Fatal("ensemble cache keys must not depend on the panel architecture")
+	}
+	key3 := r.cellKey("pneumonialike", "base", "convnet", nil, 0)
+	key4 := r.cellKey("pneumonialike", "base", "resnet50", nil, 0)
+	if key3 == key4 {
+		t.Fatal("baseline cache keys must depend on the architecture")
+	}
+}
+
+func TestSpecsKeyCanonical(t *testing.T) {
+	if specsKey(nil) != "clean" {
+		t.Fatal("empty specs key")
+	}
+	k := specsKey([]FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}, {Type: faultinject.Remove, Rate: 0.1}})
+	if !strings.Contains(k, "mislabel@0.3") || !strings.Contains(k, "remove@0.1") {
+		t.Fatalf("specs key %q", k)
+	}
+}
+
+func TestMeasureADShapes(t *testing.T) {
+	r := fastRunner(2)
+	cell, err := r.MeasureAD("pneumonialike", "ls", "convnet",
+		[]FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.AD.N != 2 || cell.Accuracy.N != 2 {
+		t.Fatalf("reps recorded %d/%d, want 2", cell.AD.N, cell.Accuracy.N)
+	}
+	if cell.AD.Mean < 0 || cell.AD.Mean > 1 {
+		t.Fatalf("AD %v out of range", cell.AD.Mean)
+	}
+	if cell.Accuracy.Mean <= 0 {
+		t.Fatal("accuracy not measured")
+	}
+}
+
+func TestGoldenAccuracyMatchesBaseCell(t *testing.T) {
+	r := fastRunner(1)
+	s, err := r.GoldenAccuracy("pneumonialike", "base", "convnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean <= 0.5 {
+		t.Fatalf("golden accuracy %.2f too low", s.Mean)
+	}
+}
+
+func TestRunPanelStructure(t *testing.T) {
+	r := fastRunner(1)
+	p, err := r.RunPanel("pneumonialike", "convnet", faultinject.Mislabel, []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Techniques()) != 6 {
+		t.Fatalf("mislabel panel has %d techniques", len(p.Techniques()))
+	}
+	for _, tech := range p.Techniques() {
+		for _, rate := range p.Rates {
+			if _, ok := p.Cells[tech][rate]; !ok {
+				t.Fatalf("missing cell %s@%v", tech, rate)
+			}
+		}
+	}
+}
+
+func TestTechniquesForFaultTypes(t *testing.T) {
+	if len(TechniquesFor(faultinject.Mislabel)) != 6 {
+		t.Fatal("mislabel should include lc")
+	}
+	for _, ft := range []faultinject.Type{faultinject.Remove, faultinject.Repeat} {
+		techs := TechniquesFor(ft)
+		for _, tech := range techs {
+			if tech == "lc" {
+				t.Fatalf("lc must be skipped for %s (§IV-C)", ft)
+			}
+		}
+		if len(techs) != 5 {
+			t.Fatalf("%s should have 5 techniques", ft)
+		}
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	r := fastRunner(1)
+	t4, err := r.Table4([]string{"convnet"}, []string{"pneumonialike"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Acc) != 1 {
+		t.Fatal("models missing")
+	}
+	for _, tech := range t4.Techniques {
+		s := t4.Acc["convnet"]["pneumonialike"][tech]
+		if s.N != 1 {
+			t.Fatalf("%s: %d reps", tech, s.N)
+		}
+	}
+	tbl := t4.Table()
+	if len(tbl.Rows) != 1 || len(tbl.Headers) != 2+len(t4.Techniques) {
+		t.Fatalf("table shape %dx%d", len(tbl.Rows), len(tbl.Headers))
+	}
+}
+
+func TestCombinedFaultsShape(t *testing.T) {
+	r := fastRunner(1)
+	comps, err := r.CombinedFaults("pneumonialike", "convnet", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("%d comparisons, want 3", len(comps))
+	}
+	for _, c := range comps {
+		if len(c.Combined) != 2 || len(c.Single) != 1 {
+			t.Fatalf("bad comparison %+v", c)
+		}
+	}
+}
+
+func TestOverheadRows(t *testing.T) {
+	r := fastRunner(1)
+	rows, err := r.Overhead("pneumonialike", "convnet",
+		[]FaultSpec{{Type: faultinject.Mislabel, Rate: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d overhead rows", len(rows))
+	}
+	var base, ens OverheadRow
+	for _, row := range rows {
+		switch row.Technique {
+		case "base":
+			base = row
+		case "ens":
+			ens = row
+		}
+	}
+	if base.TrainOverhead != 1 {
+		t.Fatalf("baseline train overhead %v, want 1", base.TrainOverhead)
+	}
+	if base.InferenceOverhead != 1 || ens.InferenceOverhead != 5 {
+		t.Fatalf("inference overheads base=%v ens=%v", base.InferenceOverhead, ens.InferenceOverhead)
+	}
+	if ens.TrainOverhead <= 1.5 {
+		t.Fatalf("ensemble train overhead %v suspiciously low", ens.TrainOverhead)
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	r := fastRunner(1)
+	var b strings.Builder
+	if err := RenderTable1(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Label Relaxation") {
+		t.Fatal("table1 missing representative")
+	}
+	b.Reset()
+	if err := r.RenderTable2(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "GTSRB") {
+		t.Fatal("table2 missing dataset")
+	}
+	b.Reset()
+	RenderTable3(&b)
+	if !strings.Contains(b.String(), "49 Conv") {
+		t.Fatal("table3 missing resnet50 summary")
+	}
+}
+
+func TestPanelRenderAndCSV(t *testing.T) {
+	r := fastRunner(1)
+	p, err := r.RunPanel("pneumonialike", "convnet", faultinject.Remove, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	RenderPanel(&b, p)
+	out := b.String()
+	if !strings.Contains(out, "remove") || !strings.Contains(out, "Base") {
+		t.Fatalf("panel render missing content:\n%s", out)
+	}
+	fig := &Figure3Result{FaultType: faultinject.Remove, Panels: []*Panel{p}}
+	tbl := fig.Table()
+	// 5 techniques × 1 rate rows.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("csv rows %d, want 5", len(tbl.Rows))
+	}
+	var csvB strings.Builder
+	if err := tbl.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvB.String(), "ad_mean") {
+		t.Fatal("csv header missing")
+	}
+}
+
+func TestDeterministicAcrossRunners(t *testing.T) {
+	a := fastRunner(1)
+	b := fastRunner(1)
+	pa, _, err := a.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := b.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("identical runners disagreed")
+		}
+	}
+}
+
+func TestRepsProduceDistinctModels(t *testing.T) {
+	r := fastRunner(2)
+	p0, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Log("reps produced identical predictions (possible on easy data)")
+	}
+}
+
+func TestFigure4WrapperPneumonia(t *testing.T) {
+	r := fastRunner(1)
+	fig, err := r.Figure4("convnet", faultinject.Repeat, []string{"pneumonialike"}, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Arch != "convnet" || len(fig.Panels) != 1 {
+		t.Fatalf("figure shape %+v", fig)
+	}
+	var b strings.Builder
+	fig.Render(&b)
+	if !strings.Contains(b.String(), "Figure 4") {
+		t.Fatal("render header missing")
+	}
+	tbl := fig.Table()
+	if len(tbl.Rows) != 5 { // 5 techniques × 1 rate (lc skipped for repeat)
+		t.Fatalf("table rows %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure3WrapperSinglePanel(t *testing.T) {
+	r := fastRunner(1)
+	fig, err := r.Figure3(faultinject.Remove, []string{"convnet"}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 1 || fig.Panels[0].Dataset != "gtsrblike" {
+		t.Fatalf("figure shape %+v", fig)
+	}
+	var b strings.Builder
+	fig.Render(&b)
+	if !strings.Contains(b.String(), "Figure 3") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestMotivatingWrapper(t *testing.T) {
+	r := fastRunner(1)
+	m, err := r.Motivating()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TechniqueAD) != 6 {
+		t.Fatalf("%d technique ADs", len(m.TechniqueAD))
+	}
+	if m.GoldenAcc.Mean <= 0 {
+		t.Fatal("golden accuracy missing")
+	}
+	var b strings.Builder
+	m.Render(&b)
+	if !strings.Contains(b.String(), "Motivating example") {
+		t.Fatal("render header missing")
+	}
+}

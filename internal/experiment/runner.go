@@ -1,0 +1,273 @@
+// Package experiment implements the study's experimental protocol (§IV):
+// generate a dataset, train a golden model on clean data, reserve a clean
+// subset, inject training-data faults, train each TDFM technique on the
+// faulty data, and measure accuracy and Accuracy Delta on a shared test
+// set, repeated over seeds with 95% confidence intervals.
+//
+// The Runner memoizes test-set predictions by configuration so that work
+// shared between the paper's tables and figures (golden models per
+// (dataset, model, repetition); ensemble models per (dataset, fault spec,
+// repetition)) is computed once per process.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tdfm/internal/core"
+	"tdfm/internal/data"
+	"tdfm/internal/datagen"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/metrics"
+	"tdfm/internal/xrand"
+)
+
+// Runner executes experiment cells with memoization.
+type Runner struct {
+	// Scale selects dataset sizes (datagen tiers).
+	Scale datagen.Scale
+	// Seed is the root seed; every cell derives its randomness from it.
+	Seed uint64
+	// Reps is the number of repetitions per configuration (the paper uses
+	// 20; the default harness uses a laptop-friendly count).
+	Reps int
+	// CleanFrac is the fraction of training data reserved from injection as
+	// the clean subset for label correction (γ, §III-B2).
+	CleanFrac float64
+	// Progress, when non-nil, receives one line per trained cell.
+	Progress io.Writer
+	// EpochOverride, when > 0, replaces every architecture's default epoch
+	// count (used by fast tests and reduced benchmarks).
+	EpochOverride int
+	// WidthMult, when > 0, scales every model's channel widths.
+	WidthMult float64
+
+	mu       sync.Mutex
+	datasets map[string]dsPair
+	preds    map[string]predEntry
+}
+
+type dsPair struct {
+	train, test *data.Dataset
+}
+
+type predEntry struct {
+	pred     []int
+	trainDur time.Duration
+}
+
+// NewRunner returns a runner with the study defaults.
+func NewRunner(scale datagen.Scale, seed uint64, reps int) *Runner {
+	return &Runner{
+		Scale:     scale,
+		Seed:      seed,
+		Reps:      reps,
+		CleanFrac: 0.1,
+		datasets:  make(map[string]dsPair),
+		preds:     make(map[string]predEntry),
+	}
+}
+
+// DatasetNames lists the three study datasets in paper order
+// (Table II / Table IV order: CIFAR-10, GTSRB, Pneumonia).
+func DatasetNames() []string { return []string{"cifar10like", "gtsrblike", "pneumonialike"} }
+
+// Dataset returns the generated train/test pair for a study dataset,
+// memoized per runner.
+func (r *Runner) Dataset(name string) (train, test *data.Dataset, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.datasets[name]; ok {
+		return p.train, p.test, nil
+	}
+	cfgs := datagen.Presets(r.Scale, r.Seed)
+	cfg, ok := cfgs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("experiment: unknown dataset %q (have %v)", name, DatasetNames())
+	}
+	train, test, err = datagen.Generate(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.datasets[name] = dsPair{train: train, test: test}
+	return train, test, nil
+}
+
+// FaultSpec mirrors faultinject.Spec for experiment definitions.
+type FaultSpec = faultinject.Spec
+
+// specsKey canonicalizes a fault-spec list for cache keys.
+func specsKey(specs []FaultSpec) string {
+	if len(specs) == 0 {
+		return "clean"
+	}
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = fmt.Sprintf("%s@%g", s.Type, s.Rate)
+	}
+	return strings.Join(parts, "+")
+}
+
+// cellKey identifies a unique training run.
+func (r *Runner) cellKey(ds, tech, arch string, specs []FaultSpec, rep int) string {
+	// The ensemble ignores the architecture (it trains its own members), so
+	// its cache entry is shared across model panels.
+	if tech == "ens" {
+		arch = "-"
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|rep%d|scale%d|seed%d|ep%d", ds, tech, arch, specsKey(specs), rep, r.Scale, r.Seed, r.EpochOverride)
+}
+
+// cellRNG derives the deterministic random stream of a cell.
+func (r *Runner) cellRNG(key string) *xrand.RNG {
+	return xrand.New(r.Seed).Split(key)
+}
+
+// Predictions trains (or recalls) the given technique/architecture on ds
+// with the given faults injected, and returns test-set predictions plus the
+// training duration of the original (uncached) run.
+func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
+	key := r.cellKey(ds, tech, arch, specs, rep)
+	r.mu.Lock()
+	if e, ok := r.preds[key]; ok {
+		r.mu.Unlock()
+		return e.pred, e.trainDur, nil
+	}
+	r.mu.Unlock()
+
+	train, test, err := r.Dataset(ds)
+	if err != nil {
+		return nil, 0, err
+	}
+	technique, err := core.Get(tech)
+	if err != nil {
+		return nil, 0, err
+	}
+	rng := r.cellRNG(key)
+
+	// Reserve the clean subset before injection, exactly as §III-B2: the
+	// reservation depends on (dataset, rep) only, so every technique sees
+	// the same injected dataset for a given configuration.
+	protoKey := fmt.Sprintf("%s|inject|%s|rep%d", ds, specsKey(specs), rep)
+	injRNG := xrand.New(r.Seed).Split(protoKey)
+	cleanIdx := train.StratifiedIndices(r.CleanFrac, injRNG.Split("clean"))
+	faulty := train
+	if len(specs) > 0 {
+		inj := faultinject.New(injRNG.Split("faults"))
+		inj.Protect(cleanIdx)
+		faulty, _, err = inj.Inject(train, specs...)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+
+	start := time.Now()
+	clf, err := technique.Train(
+		core.Config{Arch: arch, Epochs: r.EpochOverride, WidthMult: r.WidthMult},
+		core.TrainSet{Data: faulty, CleanIndices: cleanIdx}, rng)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiment: %s: %w", key, err)
+	}
+	dur := time.Since(start)
+	pred := clf.Predict(test.X)
+
+	r.mu.Lock()
+	r.preds[key] = predEntry{pred: pred, trainDur: dur}
+	r.mu.Unlock()
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "trained %-60s %8s\n", key, dur.Round(time.Millisecond))
+	}
+	return pred, dur, nil
+}
+
+// Golden returns the golden model's predictions: the baseline architecture
+// trained on clean data (§III-C).
+func (r *Runner) Golden(ds, arch string, rep int) ([]int, error) {
+	pred, _, err := r.Predictions(ds, "base", arch, nil, rep)
+	return pred, err
+}
+
+// Cell is one measured configuration across repetitions.
+type Cell struct {
+	Dataset   string
+	Technique string
+	Arch      string
+	Specs     []FaultSpec
+
+	AD       metrics.Summary // accuracy delta vs the golden model
+	Accuracy metrics.Summary // absolute test accuracy
+	TrainDur time.Duration   // summed uncached training time
+}
+
+// MeasureAD runs the configuration for every repetition and summarizes the
+// AD and accuracy.
+func (r *Runner) MeasureAD(ds, tech, arch string, specs []FaultSpec) (Cell, error) {
+	cell := Cell{Dataset: ds, Technique: tech, Arch: arch, Specs: specs}
+	_, test, err := r.Dataset(ds)
+	if err != nil {
+		return cell, err
+	}
+	ads := make([]float64, 0, r.Reps)
+	accs := make([]float64, 0, r.Reps)
+	for rep := 0; rep < r.Reps; rep++ {
+		golden, err := r.Golden(ds, arch, rep)
+		if err != nil {
+			return cell, err
+		}
+		faulty, dur, err := r.Predictions(ds, tech, arch, specs, rep)
+		if err != nil {
+			return cell, err
+		}
+		cell.TrainDur += dur
+		ads = append(ads, metrics.AccuracyDelta(golden, faulty, test.Labels))
+		accs = append(accs, metrics.Accuracy(faulty, test.Labels))
+	}
+	cell.AD = metrics.Summarize(ads)
+	cell.Accuracy = metrics.Summarize(accs)
+	return cell, nil
+}
+
+// GoldenAccuracy measures the accuracy of a technique trained on CLEAN data
+// (Table IV) averaged over repetitions.
+func (r *Runner) GoldenAccuracy(ds, tech, arch string) (metrics.Summary, error) {
+	_, test, err := r.Dataset(ds)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	accs := make([]float64, 0, r.Reps)
+	for rep := 0; rep < r.Reps; rep++ {
+		pred, _, err := r.Predictions(ds, tech, arch, nil, rep)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		accs = append(accs, metrics.Accuracy(pred, test.Labels))
+	}
+	return metrics.Summarize(accs), nil
+}
+
+// CacheSize returns the number of memoized prediction entries (diagnostic).
+func (r *Runner) CacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.preds)
+}
+
+// CachedKeys returns the sorted cache keys (diagnostic, used in tests).
+func (r *Runner) CachedKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.preds))
+	for k := range r.preds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// techniqueByName resolves a study technique (thin wrapper kept local so
+// experiment definitions do not import core directly everywhere).
+func techniqueByName(name string) (core.Technique, error) { return core.Get(name) }

@@ -1,0 +1,302 @@
+package faultinject
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdfm/internal/data"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+func makeDS(n, classes int) *data.Dataset {
+	x := tensor.New(n, 1, 2, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % classes
+		for j := 0; j < 4; j++ {
+			x.Data()[i*4+j] = float64(i)
+		}
+	}
+	return data.MustNew("toy", x, labels, classes)
+}
+
+func TestParseType(t *testing.T) {
+	for _, s := range []string{"mislabel", "mislabelling", "mislabeling"} {
+		if ty, err := ParseType(s); err != nil || ty != Mislabel {
+			t.Fatalf("ParseType(%q) = %v, %v", s, ty, err)
+		}
+	}
+	if ty, _ := ParseType("repetition"); ty != Repeat {
+		t.Fatal("repetition alias broken")
+	}
+	if ty, _ := ParseType("removal"); ty != Remove {
+		t.Fatal("removal alias broken")
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Fatal("bogus type accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if (Spec{Type: Mislabel, Rate: 0.5}).Validate() != nil {
+		t.Fatal("valid spec rejected")
+	}
+	if (Spec{Type: Mislabel, Rate: 1.5}).Validate() == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if (Spec{Type: Type(0), Rate: 0.5}).Validate() == nil {
+		t.Fatal("zero type accepted")
+	}
+}
+
+func TestMislabelRateAndCount(t *testing.T) {
+	ds := makeDS(100, 5)
+	out, rep, err := MislabelRate(ds, 0.3, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Affected) != 30 {
+		t.Fatalf("affected %d, want 30", len(rep.Affected))
+	}
+	changed := 0
+	for i := range out.Labels {
+		if out.Labels[i] != ds.Labels[i] {
+			changed++
+		}
+	}
+	// Every affected index must actually carry a different label.
+	if changed != 30 {
+		t.Fatalf("%d labels changed, want 30", changed)
+	}
+	// Inputs untouched.
+	if !out.X.Equal(ds.X, 0) {
+		t.Fatal("mislabel touched inputs")
+	}
+}
+
+func TestMislabelNeverKeepsLabel(t *testing.T) {
+	ds := makeDS(50, 2)
+	out, rep, err := MislabelRate(ds, 1.0, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Affected) != 50 {
+		t.Fatalf("affected %d", len(rep.Affected))
+	}
+	for i := range out.Labels {
+		if out.Labels[i] == ds.Labels[i] {
+			t.Fatalf("index %d kept its label under 100%% mislabel", i)
+		}
+	}
+}
+
+func TestRepeatGrowsDataset(t *testing.T) {
+	ds := makeDS(40, 4)
+	out, reps, err := New(xrand.New(3)).Inject(ds, Spec{Type: Repeat, Rate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 50 {
+		t.Fatalf("len %d, want 50", out.Len())
+	}
+	if reps[0].SizeBefore != 40 || reps[0].SizeAfter != 50 {
+		t.Fatalf("report sizes %d/%d", reps[0].SizeBefore, reps[0].SizeAfter)
+	}
+	// Appended rows must be copies of the affected originals.
+	for i, idx := range reps[0].Affected {
+		appended := out.X.Data()[(40+i)*4]
+		orig := ds.X.Data()[idx*4]
+		if appended != orig {
+			t.Fatalf("appended row %d = %v, want copy of row %d = %v", i, appended, idx, orig)
+		}
+		if out.Labels[40+i] != ds.Labels[idx] {
+			t.Fatal("appended label mismatch")
+		}
+	}
+}
+
+func TestRemoveShrinksDataset(t *testing.T) {
+	ds := makeDS(40, 4)
+	out, reps, err := New(xrand.New(4)).Inject(ds, Spec{Type: Remove, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 20 {
+		t.Fatalf("len %d, want 20", out.Len())
+	}
+	removed := map[int]bool{}
+	for _, i := range reps[0].Affected {
+		removed[i] = true
+	}
+	// Survivors appear in original order, skipping removed ones.
+	want := 0
+	for i := 0; i < out.Len(); i++ {
+		for removed[want] {
+			want++
+		}
+		if int(out.X.Data()[i*4]) != want {
+			t.Fatalf("survivor %d is row %v, want %d", i, out.X.Data()[i*4], want)
+		}
+		want++
+	}
+}
+
+func TestInjectDoesNotMutateInput(t *testing.T) {
+	ds := makeDS(30, 3)
+	orig := ds.Clone()
+	_, _, err := New(xrand.New(5)).Inject(ds,
+		Spec{Type: Mislabel, Rate: 0.5},
+		Spec{Type: Remove, Rate: 0.3},
+		Spec{Type: Repeat, Rate: 0.2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.X.Equal(orig.X, 0) {
+		t.Fatal("input X mutated")
+	}
+	for i := range ds.Labels {
+		if ds.Labels[i] != orig.Labels[i] {
+			t.Fatal("input labels mutated")
+		}
+	}
+}
+
+func TestProtectedIndicesUntouched(t *testing.T) {
+	ds := makeDS(100, 4)
+	inj := New(xrand.New(6))
+	protected := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	inj.Protect(protected)
+	out, reps, err := inj.Inject(ds, Spec{Type: Mislabel, Rate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range protected {
+		if out.Labels[p] != ds.Labels[p] {
+			t.Fatalf("protected index %d was mislabelled", p)
+		}
+	}
+	// The other 90 must all be faulted (rate 1.0 clamps to eligible set).
+	if len(reps[0].Affected) != 90 {
+		t.Fatalf("affected %d, want 90", len(reps[0].Affected))
+	}
+}
+
+func TestProtectedSurvivesRemoval(t *testing.T) {
+	ds := makeDS(50, 5)
+	inj := New(xrand.New(7))
+	inj.Protect([]int{10, 20, 30})
+	out, _, err := inj.Inject(ds,
+		Spec{Type: Remove, Rate: 0.5},
+		Spec{Type: Mislabel, Rate: 1.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 10, 20, 30 (identifiable by pixel value) must survive removal AND
+	// keep their original labels through the second step.
+	found := 0
+	for i := 0; i < out.Len(); i++ {
+		v := int(out.X.Data()[i*4])
+		if v == 10 || v == 20 || v == 30 {
+			found++
+			if out.Labels[i] != v%5 {
+				t.Fatalf("protected row %d lost its label", v)
+			}
+		}
+	}
+	if found != 3 {
+		t.Fatalf("found %d protected rows after removal, want 3", found)
+	}
+}
+
+func TestProtectOutOfRangeRejected(t *testing.T) {
+	ds := makeDS(10, 2)
+	inj := New(xrand.New(8))
+	inj.Protect([]int{99})
+	if _, _, err := inj.Inject(ds, Spec{Type: Mislabel, Rate: 0.1}); err == nil {
+		t.Fatal("out-of-range protected index accepted")
+	}
+}
+
+func TestCombinedFaultsSizes(t *testing.T) {
+	ds := makeDS(100, 4)
+	out, reps, err := New(xrand.New(9)).Inject(ds,
+		Spec{Type: Mislabel, Rate: 0.1},
+		Spec{Type: Repeat, Rate: 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 110 {
+		t.Fatalf("combined size %d, want 110", out.Len())
+	}
+	if len(reps) != 2 {
+		t.Fatalf("reports %d", len(reps))
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	ds := makeDS(60, 3)
+	a, _, _ := New(xrand.New(11)).Inject(ds, Spec{Type: Mislabel, Rate: 0.4})
+	b, _, _ := New(xrand.New(11)).Inject(ds, Spec{Type: Mislabel, Rate: 0.4})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different injections")
+		}
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	ds := makeDS(10, 2)
+	if _, _, err := New(xrand.New(12)).Inject(ds, Spec{Type: Mislabel, Rate: -0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// Property: for any rate, mislabelling changes exactly round(rate·N) labels
+// and never alters inputs; repetition/removal change the size by exactly
+// that count.
+func TestQuickInjectionInvariants(t *testing.T) {
+	ds := makeDS(80, 4)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%971 + 1)
+		rate := r.Float64()
+		want := int(rate*80 + 0.5)
+
+		mis, repM, err := MislabelRate(ds, rate, r)
+		if err != nil || len(repM.Affected) != want || mis.Len() != 80 {
+			return false
+		}
+		changed := 0
+		for i := range mis.Labels {
+			if mis.Labels[i] != ds.Labels[i] {
+				changed++
+			}
+		}
+		if changed != want {
+			return false
+		}
+
+		rep, reps, err := New(r).Inject(ds, Spec{Type: Repeat, Rate: rate})
+		if err != nil || rep.Len() != 80+want || reps[0].SizeAfter != 80+want {
+			return false
+		}
+
+		rem, _, err := New(r).Inject(ds, Spec{Type: Remove, Rate: rate})
+		return err == nil && rem.Len() == 80-want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Mislabel.String() != "mislabel" || Repeat.String() != "repeat" || Remove.String() != "remove" {
+		t.Fatal("String names wrong")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+}

@@ -1,0 +1,288 @@
+package loss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+func oneHot(labels []int, k int) *tensor.Tensor {
+	t := tensor.New(len(labels), k)
+	for i, y := range labels {
+		t.Set(1, i, y)
+	}
+	return t
+}
+
+func randLogits(seed uint64, n, k int) *tensor.Tensor {
+	t := tensor.New(n, k)
+	xrand.New(seed).FillNormal(t.Data(), 0, 2)
+	return t
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	z := randLogits(1, 5, 7)
+	p := Softmax(z)
+	for r := 0; r < 5; r++ {
+		s := 0.0
+		for c := 0; c < 7; c++ {
+			v := p.At(r, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestSoftmaxStableUnderLargeLogits(t *testing.T) {
+	z := tensor.FromSlice([]float64{1000, 1001, 999}, 1, 3)
+	p := Softmax(z)
+	if p.HasNaN() {
+		t.Fatal("softmax overflowed")
+	}
+	if p.At(0, 1) < p.At(0, 0) {
+		t.Fatal("ordering lost")
+	}
+}
+
+func TestSoftmaxTSoftens(t *testing.T) {
+	z := tensor.FromSlice([]float64{3, 0, 0}, 1, 3)
+	p1 := Softmax(z)
+	p5 := SoftmaxT(z, 5)
+	if p5.At(0, 0) >= p1.At(0, 0) {
+		t.Fatalf("T=5 should soften: %v vs %v", p5.At(0, 0), p1.At(0, 0))
+	}
+	s := 0.0
+	for c := 0; c < 3; c++ {
+		s += p5.At(0, c)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("softened row sums to %v", s)
+	}
+}
+
+// lossGradCheck compares a loss's analytic logits gradient against central
+// finite differences.
+func lossGradCheck(t *testing.T, l Loss, logits, targets *tensor.Tensor, tol float64) {
+	t.Helper()
+	_, grad := l.Forward(logits, targets)
+	const h = 1e-6
+	zd := logits.Data()
+	for i := range zd {
+		orig := zd[i]
+		zd[i] = orig + h
+		lp, _ := l.Forward(logits, targets)
+		zd[i] = orig - h
+		lm, _ := l.Forward(logits, targets)
+		zd[i] = orig
+		num := (lp - lm) / (2 * h)
+		if d := math.Abs(num - grad.Data()[i]); d > tol && d > tol*math.Abs(num) {
+			t.Fatalf("%s grad[%d]: analytic %g vs numeric %g", l.Name(), i, grad.Data()[i], num)
+		}
+	}
+}
+
+func TestGradCheckCrossEntropy(t *testing.T) {
+	lossGradCheck(t, CrossEntropy{}, randLogits(2, 4, 5), oneHot([]int{0, 2, 4, 1}, 5), 1e-6)
+}
+
+func TestGradCheckCrossEntropySoftTargets(t *testing.T) {
+	targets := tensor.FromSlice([]float64{
+		0.7, 0.2, 0.1,
+		0.1, 0.8, 0.1,
+	}, 2, 3)
+	lossGradCheck(t, CrossEntropy{}, randLogits(3, 2, 3), targets, 1e-6)
+}
+
+func TestGradCheckSmoothedCE(t *testing.T) {
+	lossGradCheck(t, SmoothedCE{Alpha: 0.1}, randLogits(4, 3, 4), oneHot([]int{1, 3, 0}, 4), 1e-6)
+}
+
+func TestGradCheckNCE(t *testing.T) {
+	lossGradCheck(t, NCE{}, randLogits(5, 4, 6), oneHot([]int{0, 5, 2, 3}, 6), 1e-5)
+}
+
+func TestGradCheckRCE(t *testing.T) {
+	lossGradCheck(t, RCE{}, randLogits(6, 4, 5), oneHot([]int{1, 0, 4, 2}, 5), 1e-5)
+}
+
+func TestGradCheckActivePassive(t *testing.T) {
+	lossGradCheck(t, NewActivePassive(1, 1), randLogits(7, 3, 4), oneHot([]int{2, 0, 3}, 4), 1e-5)
+}
+
+func TestGradCheckMAE(t *testing.T) {
+	lossGradCheck(t, MAE{}, randLogits(8, 3, 4), oneHot([]int{0, 1, 2}, 4), 1e-5)
+}
+
+// Label relaxation has a kink at p_y = 1-α; keep samples away from it by
+// using α = 0.25 and random logits (probability of landing on the boundary
+// is negligible, and we check it's not active).
+func TestGradCheckLabelRelaxation(t *testing.T) {
+	lr := LabelRelaxation{Alpha: 0.25}
+	logits := randLogits(9, 4, 5)
+	targets := oneHot([]int{0, 2, 4, 1}, 5)
+	lossGradCheck(t, lr, logits, targets, 1e-5)
+}
+
+func TestLabelRelaxationZeroWhenSatisfied(t *testing.T) {
+	// Logits strongly favouring the labelled class: p_y > 1-α, loss must be 0.
+	logits := tensor.FromSlice([]float64{10, 0, 0}, 1, 3)
+	targets := oneHot([]int{0}, 3)
+	l, g := LabelRelaxation{Alpha: 0.1}.Forward(logits, targets)
+	if l != 0 {
+		t.Fatalf("loss = %v, want 0", l)
+	}
+	if g.L2Norm() != 0 {
+		t.Fatalf("grad norm = %v, want 0", g.L2Norm())
+	}
+}
+
+func TestGradCheckDistillationKD(t *testing.T) {
+	d := Distillation{Alpha: 0.6, T: 3}
+	logits := randLogits(10, 3, 4)
+	targets := oneHot([]int{1, 2, 0}, 4)
+	teacher := Softmax(randLogits(11, 3, 4).Scale(1.0 / 3))
+	_, grad := d.ForwardKD(logits, targets, teacher)
+	const h = 1e-6
+	zd := logits.Data()
+	for i := range zd {
+		orig := zd[i]
+		zd[i] = orig + h
+		lp, _ := d.ForwardKD(logits, targets, teacher)
+		zd[i] = orig - h
+		lm, _ := d.ForwardKD(logits, targets, teacher)
+		zd[i] = orig
+		num := (lp - lm) / (2 * h)
+		if diff := math.Abs(num - grad.Data()[i]); diff > 1e-5 && diff > 1e-5*math.Abs(num) {
+			t.Fatalf("KD grad[%d]: analytic %g vs numeric %g", i, grad.Data()[i], num)
+		}
+	}
+}
+
+func TestDistillationPlainForwardIsCE(t *testing.T) {
+	logits := randLogits(12, 3, 4)
+	targets := oneHot([]int{0, 1, 2}, 4)
+	l1, g1 := Distillation{Alpha: 0.5, T: 4}.Forward(logits, targets)
+	l2, g2 := CrossEntropy{}.Forward(logits, targets)
+	if l1 != l2 || !g1.Equal(g2, 0) {
+		t.Fatal("Distillation.Forward must equal plain CE")
+	}
+}
+
+func TestSmoothedCESmoothValues(t *testing.T) {
+	// α=0.1, K=3 must transform [0,1,0] into [0.0333…, 0.9333…, 0.0333…]
+	// (the paper's worked example in §III-B1).
+	targets := oneHot([]int{1}, 3)
+	sm := SmoothedCE{Alpha: 0.1}.Smooth(targets)
+	want := []float64{0.1 / 3, 0.9 + 0.1/3, 0.1 / 3}
+	for c, w := range want {
+		if math.Abs(sm.At(0, c)-w) > 1e-12 {
+			t.Fatalf("smoothed[%d] = %v, want %v", c, sm.At(0, c), w)
+		}
+	}
+}
+
+// Property: smoothing preserves the row-sum of 1 and the argmax.
+func TestQuickSmoothingInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%991 + 1)
+		k := 2 + r.IntN(10)
+		y := r.IntN(k)
+		targets := oneHot([]int{y}, k)
+		alpha := r.Float64() * 0.5
+		sm := SmoothedCE{Alpha: alpha}.Smooth(targets)
+		s := 0.0
+		for c := 0; c < k; c++ {
+			s += sm.At(0, c)
+		}
+		return math.Abs(s-1) < 1e-9 && sm.ArgMaxRows()[0] == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CE loss is non-negative and zero gradient sums per row
+// (gradient rows sum to 0 because softmax and targets both sum to 1).
+func TestQuickCEGradientRowsSumToZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%997 + 1)
+		n, k := 1+r.IntN(4), 2+r.IntN(5)
+		logits := tensor.New(n, k)
+		r.FillNormal(logits.Data(), 0, 3)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.IntN(k)
+		}
+		l, g := CrossEntropy{}.Forward(logits, oneHot(labels, k))
+		if l < 0 {
+			return false
+		}
+		for row := 0; row < n; row++ {
+			s := 0.0
+			for c := 0; c < k; c++ {
+				s += g.At(row, c)
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RCE on a one-hot target must equal -A·(1 - p_y): verify the closed form.
+func TestRCEClosedForm(t *testing.T) {
+	logits := randLogits(13, 4, 5)
+	labels := []int{0, 2, 4, 1}
+	targets := oneHot(labels, 5)
+	got, _ := RCE{}.Forward(logits, targets)
+	probs := Softmax(logits)
+	want := 0.0
+	for i, y := range labels {
+		want += 4 * (1 - probs.At(i, y))
+	}
+	want /= 4
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RCE = %v, want %v", got, want)
+	}
+}
+
+// NCE must be bounded in [0, 1] for one-hot targets (property from Ma et
+// al.: normalized losses are bounded).
+func TestQuickNCEBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%983 + 1)
+		n, k := 1+r.IntN(4), 2+r.IntN(6)
+		logits := tensor.New(n, k)
+		r.FillNormal(logits.Data(), 0, 4)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.IntN(k)
+		}
+		l, _ := NCE{}.Forward(logits, oneHot(labels, k))
+		return l >= 0 && l <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossEntropy{}.Forward(tensor.New(2, 3), tensor.New(2, 4))
+}

@@ -1,0 +1,215 @@
+package loss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// Property: for any soft target y', CE(z, y') = -Σ y'_c log p_c is at
+// least -log(max_c p_c), with the minimum attained by the one-hot target
+// at the argmax of p.
+func TestQuickCELowerBound(t *testing.T) {
+	rng := xrand.New(51)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%883 + 1)
+		k := 2 + r.IntN(5)
+		logits := tensor.New(1, k)
+		rng.FillNormal(logits.Data(), 0, 2)
+		p := Softmax(logits)
+		bound := -math.Log(p.Max())
+		// Random soft target distribution.
+		other := tensor.New(1, k)
+		s := 0.0
+		for c := 0; c < k; c++ {
+			v := r.Float64() + 1e-3
+			other.Set(v, 0, c)
+			s += v
+		}
+		other.ScaleIn(1 / s)
+		ceOther, _ := CrossEntropy{}.Forward(logits, other)
+		// One-hot at argmax attains the bound.
+		oneHot := tensor.New(1, k)
+		oneHot.Set(1, 0, p.ArgMaxRows()[0])
+		ceBest, _ := CrossEntropy{}.Forward(logits, oneHot)
+		return ceOther >= bound-1e-9 && math.Abs(ceBest-bound) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax is shift-invariant — softmax(z + c) == softmax(z).
+func TestQuickSoftmaxShiftInvariance(t *testing.T) {
+	rng := xrand.New(53)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%881 + 1)
+		k := 2 + r.IntN(6)
+		z := tensor.New(2, k)
+		rng.FillNormal(z.Data(), 0, 3)
+		c := r.Uniform(-50, 50)
+		shifted := z.Apply(func(v float64) float64 { return v + c })
+		return Softmax(z).Equal(Softmax(shifted), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: temperature ordering — higher T gives strictly lower max
+// probability (softer distribution) for non-uniform logits.
+func TestQuickTemperatureSoftens(t *testing.T) {
+	rng := xrand.New(55)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%877 + 1)
+		k := 3 + r.IntN(5)
+		z := tensor.New(1, k)
+		rng.FillNormal(z.Data(), 0, 2)
+		// Force non-uniform logits.
+		z.Set(z.Max()+1, 0, 0)
+		p1 := SoftmaxT(z, 1)
+		p4 := SoftmaxT(z, 4)
+		return p4.Max() < p1.Max()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every loss's gradient has zero row sums (logit gradients of
+// softmax-based losses live on the simplex tangent space).
+func TestQuickAllLossGradientsSumToZeroPerRow(t *testing.T) {
+	rng := xrand.New(57)
+	losses := []Loss{
+		CrossEntropy{},
+		SmoothedCE{Alpha: 0.15},
+		NCE{},
+		RCE{},
+		NewActivePassive(1, 1),
+		MAE{},
+		LabelRelaxation{Alpha: 0.2},
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%863 + 1)
+		n, k := 1+r.IntN(3), 2+r.IntN(5)
+		logits := tensor.New(n, k)
+		rng.FillNormal(logits.Data(), 0, 2)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.IntN(k)
+		}
+		targets := tensor.New(n, k)
+		for i, y := range labels {
+			targets.Set(1, i, y)
+		}
+		for _, l := range losses {
+			_, g := l.Forward(logits, targets)
+			for row := 0; row < n; row++ {
+				s := 0.0
+				for c := 0; c < k; c++ {
+					s += g.At(row, c)
+				}
+				if math.Abs(s) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all losses are non-negative on one-hot targets.
+func TestQuickLossesNonNegative(t *testing.T) {
+	rng := xrand.New(59)
+	losses := []Loss{
+		CrossEntropy{}, SmoothedCE{Alpha: 0.1}, NCE{}, RCE{},
+		NewActivePassive(1, 1), MAE{}, LabelRelaxation{Alpha: 0.1},
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%859 + 1)
+		n, k := 1+r.IntN(3), 2+r.IntN(5)
+		logits := tensor.New(n, k)
+		rng.FillNormal(logits.Data(), 0, 3)
+		targets := tensor.New(n, k)
+		for i := 0; i < n; i++ {
+			targets.Set(1, i, r.IntN(k))
+		}
+		for _, l := range losses {
+			v, _ := l.Forward(logits, targets)
+			if v < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The distillation loss at α=0 must reduce exactly to CE regardless of the
+// teacher.
+func TestDistillationAlphaZeroIsCE(t *testing.T) {
+	rng := xrand.New(61)
+	logits := tensor.New(3, 4)
+	rng.FillNormal(logits.Data(), 0, 1)
+	targets := tensor.New(3, 4)
+	for i := 0; i < 3; i++ {
+		targets.Set(1, i, i)
+	}
+	teacher := Softmax(tensor.Full(0.5, 3, 4))
+	// Alpha <= 0 falls back to defaults inside the technique, so test the
+	// loss directly with an explicit tiny alpha.
+	d := Distillation{Alpha: 1e-12, T: 3}
+	l1, g1 := d.ForwardKD(logits, targets, teacher)
+	l2, g2 := CrossEntropy{}.Forward(logits, targets)
+	if math.Abs(l1-l2) > 1e-9 || !g1.Equal(g2, 1e-9) {
+		t.Fatal("α→0 distillation should converge to CE")
+	}
+}
+
+// KL divergence inside the distillation loss must be zero when the student
+// matches the teacher.
+func TestDistillationZeroWhenMatched(t *testing.T) {
+	rng := xrand.New(63)
+	logits := tensor.New(2, 3)
+	rng.FillNormal(logits.Data(), 0, 1)
+	targets := tensor.New(2, 3)
+	targets.Set(1, 0, 0)
+	targets.Set(1, 1, 1)
+	teacher := SoftmaxT(logits, 4)
+	d := Distillation{Alpha: 1, T: 4}
+	l, g := d.ForwardKD(logits, targets, teacher)
+	if math.Abs(l) > 1e-9 {
+		t.Fatalf("matched-teacher loss %v, want 0", l)
+	}
+	if g.L2Norm() > 1e-9 {
+		t.Fatalf("matched-teacher grad norm %v, want 0", g.L2Norm())
+	}
+}
+
+// NCE must be invariant to logit shifts (inherited from softmax).
+func TestQuickNCEShiftInvariant(t *testing.T) {
+	rng := xrand.New(65)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%857 + 1)
+		k := 2 + r.IntN(5)
+		z := tensor.New(1, k)
+		rng.FillNormal(z.Data(), 0, 2)
+		targets := tensor.New(1, k)
+		targets.Set(1, 0, r.IntN(k))
+		l1, _ := NCE{}.Forward(z, targets)
+		shifted := z.Apply(func(v float64) float64 { return v + 13.5 })
+		l2, _ := NCE{}.Forward(shifted, targets)
+		return math.Abs(l1-l2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

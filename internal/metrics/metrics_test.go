@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tdfm/internal/xrand"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestAccuracyDeltaDefinition(t *testing.T) {
+	labels := []int{0, 0, 0, 0, 0}
+	golden := []int{0, 0, 0, 1, 1} // correct on 0,1,2
+	faulty := []int{0, 1, 1, 0, 1} // wrong on 1,2 of the golden-correct set
+	if got := AccuracyDelta(golden, faulty, labels); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("AD = %v, want 2/3", got)
+	}
+}
+
+func TestAccuracyDeltaPerfectFaulty(t *testing.T) {
+	labels := []int{0, 1, 2}
+	golden := []int{0, 1, 2}
+	if AccuracyDelta(golden, golden, labels) != 0 {
+		t.Fatal("identical models must have AD 0")
+	}
+}
+
+func TestAccuracyDeltaGoldenAllWrong(t *testing.T) {
+	labels := []int{0, 0}
+	golden := []int{1, 1}
+	faulty := []int{1, 1}
+	if AccuracyDelta(golden, faulty, labels) != 0 {
+		t.Fatal("AD with no golden-correct images must be 0")
+	}
+}
+
+// Property: AD is in [0,1] and does not count images the golden model got
+// wrong (changing faulty predictions there never alters AD).
+func TestQuickADInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%953 + 1)
+		n := 1 + r.IntN(50)
+		k := 2 + r.IntN(5)
+		labels := make([]int, n)
+		golden := make([]int, n)
+		faulty := make([]int, n)
+		for i := range labels {
+			labels[i] = r.IntN(k)
+			golden[i] = r.IntN(k)
+			faulty[i] = r.IntN(k)
+		}
+		ad := AccuracyDelta(golden, faulty, labels)
+		if ad < 0 || ad > 1 {
+			return false
+		}
+		// Mutate faulty predictions only where golden was wrong.
+		mutated := append([]int(nil), faulty...)
+		for i := range mutated {
+			if golden[i] != labels[i] {
+				mutated[i] = r.IntN(k)
+			}
+		}
+		return AccuracyDelta(golden, mutated, labels) == ad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseDelta(t *testing.T) {
+	labels := []int{0, 0, 0, 0}
+	golden := []int{1, 1, 0, 0} // wrong on 0,1
+	faulty := []int{0, 1, 0, 0} // recovers index 0
+	// 1 recovered image out of 4 test images.
+	if got := ReverseDelta(golden, faulty, labels); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("ReverseDelta = %v", got)
+	}
+	if ReverseDelta([]int{0}, []int{0}, []int{0}) != 0 {
+		t.Fatal("no golden-wrong images must give 0")
+	}
+	if ReverseDelta(nil, nil, nil) != 0 {
+		t.Fatal("empty input must give 0")
+	}
+}
+
+func TestDamageRateMatchesConfusion(t *testing.T) {
+	labels := []int{0, 0, 0, 0}
+	golden := []int{0, 0, 1, 1}
+	faulty := []int{0, 1, 0, 1}
+	// OnlyGolden = 1 of 4 images.
+	if got := DamageRate(golden, faulty, labels); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("DamageRate = %v", got)
+	}
+	c := Confusion(golden, faulty, labels)
+	want := float64(c.OnlyGolden) / float64(len(labels))
+	if got := DamageRate(golden, faulty, labels); math.Abs(got-want) > 1e-12 {
+		t.Fatal("DamageRate inconsistent with Confusion")
+	}
+	rev := ReverseDelta(golden, faulty, labels)
+	wantRev := float64(c.OnlyFaulty) / float64(len(labels))
+	if math.Abs(rev-wantRev) > 1e-12 {
+		t.Fatal("ReverseDelta inconsistent with Confusion")
+	}
+}
+
+func TestConfusionPartition(t *testing.T) {
+	labels := []int{0, 0, 0, 0}
+	golden := []int{0, 0, 1, 1}
+	faulty := []int{0, 1, 0, 1}
+	c := Confusion(golden, faulty, labels)
+	if c.BothCorrect != 1 || c.OnlyGolden != 1 || c.OnlyFaulty != 1 || c.BothWrong != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	if c.BothCorrect+c.OnlyGolden+c.OnlyFaulty+c.BothWrong != len(labels) {
+		t.Fatal("partition does not cover all samples")
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatal("min/max wrong")
+	}
+	if math.Abs(s.Median-4.5) > 1e-12 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 || s.CI95 != 0 || s.Median != 3 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5}
+	small := Summarize(base)
+	big := Summarize(append(append(append([]float64{}, base...), base...), base...))
+	if big.CI95 >= small.CI95 {
+		t.Fatalf("CI should shrink with n: %v vs %v", big.CI95, small.CI95)
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	if tCritical95(1) <= tCritical95(5) || tCritical95(5) <= tCritical95(100) {
+		t.Fatal("t critical values not decreasing")
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Fatal("asymptote wrong")
+	}
+}
+
+func TestOverlapCI(t *testing.T) {
+	a := Summary{Mean: 0.5, CI95: 0.1}
+	b := Summary{Mean: 0.55, CI95: 0.1}
+	c := Summary{Mean: 0.9, CI95: 0.05}
+	if !OverlapCI(a, b) {
+		t.Fatal("overlapping intervals reported disjoint")
+	}
+	if OverlapCI(a, c) {
+		t.Fatal("disjoint intervals reported overlapping")
+	}
+}
+
+func TestPerClassAccuracy(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2}
+	pred := []int{0, 1, 1, 1, 0}
+	got := PerClassAccuracy(pred, labels, 3)
+	want := []float64{0.5, 1, 0}
+	for c := range want {
+		if math.Abs(got[c]-want[c]) > 1e-12 {
+			t.Fatalf("class %d: %v, want %v", c, got[c], want[c])
+		}
+	}
+	// Class absent from labels reports 0.
+	if got := PerClassAccuracy([]int{0}, []int{0}, 4); got[3] != 0 {
+		t.Fatal("absent class should report 0")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	pred := []int{0, 1, 1, 1}
+	m := ConfusionMatrix(pred, labels, 2)
+	if m[0][0] != 1 || m[0][1] != 1 || m[1][1] != 2 || m[1][0] != 0 {
+		t.Fatalf("confusion %v", m)
+	}
+	total := 0
+	for _, row := range m {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != len(labels) {
+		t.Fatal("matrix does not cover all samples")
+	}
+}
+
+func TestConfusionMatrixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ConfusionMatrix([]int{5}, []int{0}, 2)
+}

@@ -1,0 +1,459 @@
+// Package models implements the seven neural-network architectures of the
+// study (Table III of the paper), width-scaled to train on a single CPU
+// core while preserving each architecture's *class*: plain shallow
+// convolutional stacks (ConvNet, DeconvNet), deep VGG-style stacks with
+// max pooling and a 3-layer dense head (VGG11, VGG16), residual networks
+// with global average pooling (ResNet18 basic blocks, ResNet50 bottleneck
+// blocks), and a depthwise-separable network (MobileNet).
+//
+// The per-model layer counts match Table III:
+//
+//	ConvNet    moderate   3 conv + 3 FC + max pooling
+//	DeconvNet  moderate   4 conv + 2 FC with 0.5 dropout
+//	VGG11      deep       8 conv + 3 FC + max pooling
+//	VGG16      deep      13 conv + 3 FC + max pooling
+//	ResNet18   deep      17 conv + 1 FC + avg pooling
+//	ResNet50   deep      49 conv + 1 FC + avg pooling
+//	MobileNet  deep      27 conv + 1 FC + avg pooling
+//
+// (The paper's table lists VGG11 with "13 Conv", which is the canonical
+// VGG16 count; we use the canonical 8-conv VGG11.) Batch normalization is
+// inserted in the deep architectures — at these widths and dataset sizes it
+// is required for trainability, mirroring its role in the full-size
+// originals.
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tdfm/internal/nn"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// BuildConfig describes the input geometry and capacity of a model build.
+type BuildConfig struct {
+	InChannels int
+	Height     int
+	Width      int
+	NumClasses int
+	// WidthMult scales channel counts; 1.0 is the study default. Values
+	// below 1 shrink models for fast tests.
+	WidthMult float64
+	RNG       *xrand.RNG
+}
+
+func (c BuildConfig) validate() error {
+	if c.InChannels < 1 || c.NumClasses < 2 {
+		return fmt.Errorf("models: invalid channels/classes %d/%d", c.InChannels, c.NumClasses)
+	}
+	if c.Height < 8 || c.Width < 8 {
+		return fmt.Errorf("models: input %dx%d too small (min 8x8)", c.Height, c.Width)
+	}
+	if c.RNG == nil {
+		return fmt.Errorf("models: nil RNG")
+	}
+	return nil
+}
+
+func (c BuildConfig) ch(base int) int {
+	m := c.WidthMult
+	if m <= 0 {
+		m = 1
+	}
+	n := int(math.Round(float64(base) * m))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Builder constructs a model for a build config.
+type Builder func(cfg BuildConfig) (*nn.Sequential, error)
+
+// Info describes a registered architecture.
+type Info struct {
+	Name    string
+	Depth   string // "moderate" or "deep" (Table III)
+	Summary string // architecture summary string matching Table III
+	Build   Builder
+	// DefaultEpochs and DefaultLR are tuned per-architecture training
+	// settings for the synthetic datasets.
+	DefaultEpochs int
+	DefaultLR     float64
+}
+
+var registry = map[string]Info{}
+
+func register(info Info) {
+	if _, dup := registry[info.Name]; dup {
+		panic("models: duplicate registration of " + info.Name)
+	}
+	registry[info.Name] = info
+}
+
+// Get returns the registered architecture by name.
+func Get(name string) (Info, error) {
+	info, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("models: unknown architecture %q (have %v)", name, Names())
+	}
+	return info, nil
+}
+
+// Names returns the registered architecture names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered architecture, sorted by name.
+func All() []Info {
+	names := Names()
+	out := make([]Info, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Build constructs the named architecture.
+func Build(name string, cfg BuildConfig) (*nn.Sequential, error) {
+	info, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return info.Build(cfg)
+}
+
+func convBNReLU(name string, in, out, k, stride int, rng *xrand.RNG) []nn.Layer {
+	return []nn.Layer{
+		nn.NewConv2D(name, in, out, k, stride, tensor.SamePad(k), rng),
+		nn.NewBatchNorm2D(name+".bn", out),
+		nn.NewReLU(),
+	}
+}
+
+// ConvNet: 3 conv + 3 FC + max pooling (moderate depth).
+func buildConvNet(cfg BuildConfig) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.RNG
+	c1, c2, c3 := cfg.ch(8), cfg.ch(16), cfg.ch(16)
+	h, w := cfg.Height/2/2, cfg.Width/2/2
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1", cfg.InChannels, c1, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D("conv2", c1, c2, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D("conv3", c2, c3, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense("fc1", c3*h*w, cfg.ch(48), r),
+		nn.NewReLU(),
+		nn.NewDense("fc2", cfg.ch(48), cfg.ch(24), r),
+		nn.NewReLU(),
+		nn.NewDense("fc3", cfg.ch(24), cfg.NumClasses, r),
+	)
+	return net, nil
+}
+
+// DeconvNet: 4 conv + 2 FC with 0.5 dropout (moderate depth).
+func buildDeconvNet(cfg BuildConfig) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.RNG
+	c1, c2, c3, c4 := cfg.ch(8), cfg.ch(16), cfg.ch(16), cfg.ch(32)
+	h, w := cfg.Height/2/2, cfg.Width/2/2
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1", cfg.InChannels, c1, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D("conv2", c1, c2, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewConv2D("conv3", c2, c3, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D("conv4", c3, c4, 3, 1, 1, r),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDropout(0.5, r.Split("dropout1")),
+		nn.NewDense("fc1", c4*h*w, cfg.ch(64), r),
+		nn.NewReLU(),
+		nn.NewDropout(0.5, r.Split("dropout2")),
+		nn.NewDense("fc2", cfg.ch(64), cfg.NumClasses, r),
+	)
+	return net, nil
+}
+
+// vgg builds a VGG-style stack from a block spec: convsPerBlock[i] convs at
+// width widths[i], with a max pool after each of the first two blocks.
+func vgg(cfg BuildConfig, convsPerBlock, widths []int) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.RNG
+	net := nn.NewSequential()
+	in := cfg.InChannels
+	h, w := cfg.Height, cfg.Width
+	idx := 0
+	for b, n := range convsPerBlock {
+		out := cfg.ch(widths[b])
+		for i := 0; i < n; i++ {
+			idx++
+			net.Add(convBNReLU(fmt.Sprintf("conv%d", idx), in, out, 3, 1, r)...)
+			in = out
+		}
+		if b < 2 { // two pooling stages keep ≥3×3 spatial size on 12×12 inputs
+			net.Add(nn.NewMaxPool2D(2, 2))
+			h, w = h/2, w/2
+		}
+	}
+	net.Add(
+		nn.NewFlatten(),
+		nn.NewDense("fc1", in*h*w, cfg.ch(64), r),
+		nn.NewReLU(),
+		nn.NewDense("fc2", cfg.ch(64), cfg.ch(32), r),
+		nn.NewReLU(),
+		nn.NewDense("fc3", cfg.ch(32), cfg.NumClasses, r),
+	)
+	return net, nil
+}
+
+// VGG11: 8 conv + 3 FC + max pooling (deep).
+func buildVGG11(cfg BuildConfig) (*nn.Sequential, error) {
+	return vgg(cfg, []int{1, 1, 2, 2, 2}, []int{8, 16, 32, 32, 32})
+}
+
+// VGG16: 13 conv + 3 FC + max pooling (deep).
+func buildVGG16(cfg BuildConfig) (*nn.Sequential, error) {
+	return vgg(cfg, []int{2, 2, 3, 3, 3}, []int{8, 16, 32, 32, 32})
+}
+
+// basicBlock is the ResNet18 residual unit: two 3×3 convs with BN.
+func basicBlock(name string, in, out, stride int, r *xrand.RNG) *nn.Residual {
+	main := nn.NewSequential(
+		nn.NewConv2D(name+".c1", in, out, 3, stride, 1, r),
+		nn.NewBatchNorm2D(name+".bn1", out),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".c2", out, out, 3, 1, 1, r),
+		nn.NewBatchNorm2D(name+".bn2", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(
+			nn.NewConv2D(name+".proj", in, out, 1, stride, 0, r),
+			nn.NewBatchNorm2D(name+".projbn", out),
+		)
+	}
+	return nn.NewResidual(main, shortcut)
+}
+
+// bottleneckBlock is the ResNet50 residual unit: 1×1 reduce, 3×3, 1×1
+// expand, with BN.
+func bottleneckBlock(name string, in, mid, out, stride int, r *xrand.RNG) *nn.Residual {
+	main := nn.NewSequential(
+		nn.NewConv2D(name+".c1", in, mid, 1, 1, 0, r),
+		nn.NewBatchNorm2D(name+".bn1", mid),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".c2", mid, mid, 3, stride, 1, r),
+		nn.NewBatchNorm2D(name+".bn2", mid),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".c3", mid, out, 1, 1, 0, r),
+		nn.NewBatchNorm2D(name+".bn3", out),
+	)
+	var shortcut nn.Layer
+	if stride != 1 || in != out {
+		shortcut = nn.NewSequential(
+			nn.NewConv2D(name+".proj", in, out, 1, stride, 0, r),
+			nn.NewBatchNorm2D(name+".projbn", out),
+		)
+	}
+	return nn.NewResidual(main, shortcut)
+}
+
+// ResNet18: stem + 2/2/2/2 basic blocks = 17 conv + 1 FC + avg pooling.
+func buildResNet18(cfg BuildConfig) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.RNG
+	widths := []int{cfg.ch(4), cfg.ch(8), cfg.ch(16), cfg.ch(32)}
+	net := nn.NewSequential(convBNReLU("stem", cfg.InChannels, widths[0], 3, 1, r)...)
+	in := widths[0]
+	for stage, w := range widths {
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < 2; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("s%db%d", stage+1, blk+1)
+			net.Add(basicBlock(name, in, w, s, r))
+			in = w
+		}
+	}
+	net.Add(nn.NewGlobalAvgPool2D(), nn.NewDense("fc", in, cfg.NumClasses, r))
+	return net, nil
+}
+
+// ResNet50: stem + 3/4/6/3 bottleneck blocks = 49 conv + 1 FC + avg pooling.
+func buildResNet50(cfg BuildConfig) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.RNG
+	mids := []int{cfg.ch(2), cfg.ch(4), cfg.ch(8), cfg.ch(16)}
+	outs := []int{cfg.ch(8), cfg.ch(16), cfg.ch(32), cfg.ch(64)}
+	blocks := []int{3, 4, 6, 3}
+	net := nn.NewSequential(convBNReLU("stem", cfg.InChannels, outs[0], 3, 1, r)...)
+	in := outs[0]
+	for stage := range blocks {
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		for blk := 0; blk < blocks[stage]; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("s%db%d", stage+1, blk+1)
+			net.Add(bottleneckBlock(name, in, mids[stage], outs[stage], s, r))
+			in = outs[stage]
+		}
+	}
+	net.Add(nn.NewGlobalAvgPool2D(), nn.NewDense("fc", in, cfg.NumClasses, r))
+	return net, nil
+}
+
+// dsBlock is a depthwise-separable block: depthwise 3×3 + BN + ReLU, then
+// pointwise 1×1 + BN + ReLU (two convs).
+func dsBlock(name string, in, out, stride int, r *xrand.RNG) []nn.Layer {
+	return []nn.Layer{
+		nn.NewDepthwiseConv2D(name+".dw", in, 3, stride, 1, r),
+		nn.NewBatchNorm2D(name+".dwbn", in),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".pw", in, out, 1, 1, 0, r),
+		nn.NewBatchNorm2D(name+".pwbn", out),
+		nn.NewReLU(),
+	}
+}
+
+// MobileNet: stem + 13 depthwise-separable blocks = 27 conv + 1 FC + avg
+// pooling.
+func buildMobileNet(cfg BuildConfig) (*nn.Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.RNG
+	w12, w24, w48, w64 := cfg.ch(12), cfg.ch(24), cfg.ch(48), cfg.ch(64)
+	net := nn.NewSequential(convBNReLU("stem", cfg.InChannels, w12, 3, 1, r)...)
+	type blockSpec struct {
+		out    int
+		stride int
+	}
+	specs := []blockSpec{
+		{w24, 2}, // 12 -> 6
+		{w24, 1},
+		{w48, 2}, // 6 -> 3
+		{w48, 1}, {w48, 1}, {w48, 1}, {w48, 1},
+		{w48, 1}, {w48, 1},
+		{w64, 2}, // 3 -> 2
+		{w64, 1}, {w64, 1}, {w64, 1},
+	}
+	in := w12
+	for i, s := range specs {
+		net.Add(dsBlock(fmt.Sprintf("ds%d", i+1), in, s.out, s.stride, r)...)
+		in = s.out
+	}
+	net.Add(nn.NewGlobalAvgPool2D(), nn.NewDense("fc", in, cfg.NumClasses, r))
+	return net, nil
+}
+
+// CountConvs returns the number of convolution layers (standard plus
+// depthwise) in a network, used to check Table III fidelity. Following the
+// canonical ResNet depth convention (ResNet18 = 17 conv + 1 FC), the 1×1
+// projection convolutions on residual shortcuts are not counted.
+func CountConvs(l nn.Layer) int {
+	n := 0
+	nn.Walk(l, func(layer nn.Layer) {
+		switch v := layer.(type) {
+		case *nn.Conv2D:
+			if len(v.Params()) > 0 && strings.Contains(v.Params()[0].Name, ".proj") {
+				return
+			}
+			n++
+		case *nn.DepthwiseConv2D:
+			n++
+		}
+	})
+	return n
+}
+
+// CountDense returns the number of fully connected layers in a network.
+func CountDense(l nn.Layer) int {
+	n := 0
+	nn.Walk(l, func(layer nn.Layer) {
+		if _, ok := layer.(*nn.Dense); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// The study's canonical model names.
+const (
+	ConvNet   = "convnet"
+	DeconvNet = "deconvnet"
+	VGG11     = "vgg11"
+	VGG16     = "vgg16"
+	ResNet18  = "resnet18"
+	ResNet50  = "resnet50"
+	MobileNet = "mobilenet"
+)
+
+// StudyModels lists the seven architectures in the order used by the
+// paper's tables.
+func StudyModels() []string {
+	return []string{ConvNet, DeconvNet, VGG11, VGG16, ResNet18, ResNet50, MobileNet}
+}
+
+// EnsembleMembers lists the five models the paper selects for its ensemble
+// (the five with the lowest baseline AD, §IV).
+func EnsembleMembers() []string {
+	return []string{ConvNet, MobileNet, ResNet18, VGG11, VGG16}
+}
+
+func mustRegisterAll() {
+	register(Info{Name: ConvNet, Depth: "moderate", Summary: "3 Conv + 3 FC + Max Pooling",
+		Build: buildConvNet, DefaultEpochs: 12, DefaultLR: 0.01})
+	register(Info{Name: DeconvNet, Depth: "moderate", Summary: "4 Conv + 2 FC w/ 0.5 Dropout",
+		Build: buildDeconvNet, DefaultEpochs: 16, DefaultLR: 0.01})
+	register(Info{Name: VGG11, Depth: "deep", Summary: "8 Conv + 3 FC + Max Pooling",
+		Build: buildVGG11, DefaultEpochs: 16, DefaultLR: 0.005})
+	register(Info{Name: VGG16, Depth: "deep", Summary: "13 Conv + 3 FC + Max Pooling",
+		Build: buildVGG16, DefaultEpochs: 14, DefaultLR: 0.003})
+	register(Info{Name: ResNet18, Depth: "deep", Summary: "17 Conv + 1 FC + Avg Pooling",
+		Build: buildResNet18, DefaultEpochs: 16, DefaultLR: 0.02})
+	register(Info{Name: ResNet50, Depth: "deep", Summary: "49 Conv + 1 FC + Avg Pooling",
+		Build: buildResNet50, DefaultEpochs: 20, DefaultLR: 0.015})
+	register(Info{Name: MobileNet, Depth: "deep", Summary: "27 Conv + 1 FC + Avg Pooling",
+		Build: buildMobileNet, DefaultEpochs: 16, DefaultLR: 0.02})
+}
+
+func init() { mustRegisterAll() } //nolint:gochecknoinits // registry is static data

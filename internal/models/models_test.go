@@ -1,0 +1,197 @@
+package models
+
+import (
+	"testing"
+
+	"tdfm/internal/nn"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+func cfg(seed uint64) BuildConfig {
+	return BuildConfig{
+		InChannels: 3, Height: 12, Width: 12, NumClasses: 5,
+		WidthMult: 1, RNG: xrand.New(seed),
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("registry has %d models, want 7: %v", len(names), names)
+	}
+	for _, want := range StudyModels() {
+		if _, err := Get(want); err != nil {
+			t.Fatalf("missing study model %s: %v", want, err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("alexnet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatal("All not sorted")
+		}
+	}
+}
+
+// Table III fidelity: each architecture must have exactly the layer counts
+// the paper reports.
+func TestTableIIILayerCounts(t *testing.T) {
+	wantConv := map[string]int{
+		ConvNet: 3, DeconvNet: 4, VGG11: 8, VGG16: 13,
+		ResNet18: 17, ResNet50: 49, MobileNet: 27,
+	}
+	wantFC := map[string]int{
+		ConvNet: 3, DeconvNet: 2, VGG11: 3, VGG16: 3,
+		ResNet18: 1, ResNet50: 1, MobileNet: 1,
+	}
+	for name, wc := range wantConv {
+		net, err := Build(name, cfg(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := CountConvs(net); got != wc {
+			t.Errorf("%s: %d convs, want %d", name, got, wc)
+		}
+		if got := CountDense(net); got != wantFC[name] {
+			t.Errorf("%s: %d dense, want %d", name, got, wantFC[name])
+		}
+	}
+}
+
+func TestForwardShapesAllModels(t *testing.T) {
+	x := tensor.New(2, 3, 12, 12)
+	xrand.New(5).FillNormal(x.Data(), 0, 1)
+	for _, name := range StudyModels() {
+		net, err := Build(name, cfg(2))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y := net.Forward(x, false)
+		if y.Dims() != 2 || y.Dim(0) != 2 || y.Dim(1) != 5 {
+			t.Errorf("%s: output shape %v, want [2,5]", name, y.Shape())
+		}
+		if y.HasNaN() {
+			t.Errorf("%s: NaN in forward pass", name)
+		}
+	}
+}
+
+func TestForwardBackwardAllModels(t *testing.T) {
+	x := tensor.New(2, 3, 12, 12)
+	xrand.New(6).FillNormal(x.Data(), 0, 1)
+	for _, name := range StudyModels() {
+		net, err := Build(name, cfg(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y := net.Forward(x, true)
+		grad := tensor.New(y.Shape()...)
+		xrand.New(7).FillNormal(grad.Data(), 0, 1)
+		dx := net.Backward(grad)
+		if !dx.SameShape(x) {
+			t.Errorf("%s: input grad shape %v", name, dx.Shape())
+		}
+		if dx.HasNaN() {
+			t.Errorf("%s: NaN in backward pass", name)
+		}
+		// At least one parameter must receive gradient.
+		total := 0.0
+		for _, p := range net.Params() {
+			total += p.Grad.L2Norm()
+		}
+		if total == 0 {
+			t.Errorf("%s: all parameter gradients zero", name)
+		}
+	}
+}
+
+func TestGreyscaleInput(t *testing.T) {
+	c := cfg(8)
+	c.InChannels = 1
+	c.NumClasses = 2
+	x := tensor.New(2, 1, 12, 12)
+	for _, name := range []string{ConvNet, ResNet50, MobileNet} {
+		net, err := Build(name, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y := net.Forward(x, false)
+		if y.Dim(1) != 2 {
+			t.Errorf("%s greyscale output %v", name, y.Shape())
+		}
+	}
+}
+
+func TestWidthMultShrinksParams(t *testing.T) {
+	big, _ := Build(VGG16, cfg(9))
+	small := cfg(10)
+	small.WidthMult = 0.5
+	smallNet, _ := Build(VGG16, small)
+	if nn.ParamCount(smallNet) >= nn.ParamCount(big) {
+		t.Fatalf("WidthMult 0.5 did not shrink: %d vs %d",
+			nn.ParamCount(smallNet), nn.ParamCount(big))
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	bad := cfg(11)
+	bad.Height = 4
+	if _, err := Build(ConvNet, bad); err == nil {
+		t.Fatal("tiny input accepted")
+	}
+	bad = cfg(12)
+	bad.RNG = nil
+	if _, err := Build(ConvNet, bad); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	bad = cfg(13)
+	bad.NumClasses = 1
+	if _, err := Build(ResNet18, bad); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestEnsembleMembersAreRegistered(t *testing.T) {
+	members := EnsembleMembers()
+	if len(members) != 5 {
+		t.Fatalf("ensemble has %d members, want 5", len(members))
+	}
+	for _, m := range members {
+		if _, err := Get(m); err != nil {
+			t.Fatalf("ensemble member %s not registered", m)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a, _ := Build(ResNet18, cfg(20))
+	b, _ := Build(ResNet18, cfg(20))
+	x := tensor.New(1, 3, 12, 12)
+	xrand.New(21).FillNormal(x.Data(), 0, 1)
+	if !a.Forward(x, false).Equal(b.Forward(x, false), 0) {
+		t.Fatal("same seed produced different models")
+	}
+}
+
+func TestInfoMetadata(t *testing.T) {
+	for _, info := range All() {
+		if info.Depth != "moderate" && info.Depth != "deep" {
+			t.Errorf("%s: depth %q", info.Name, info.Depth)
+		}
+		if info.Summary == "" || info.DefaultEpochs <= 0 || info.DefaultLR <= 0 {
+			t.Errorf("%s: incomplete metadata %+v", info.Name, info)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// gradCheck verifies a layer's analytic gradients against central finite
+// differences. The scalar objective is L = <out, probe> for a fixed random
+// probe tensor, so dL/dout = probe exactly.
+func gradCheck(t *testing.T, l Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := xrand.New(999)
+
+	out := l.Forward(x, true)
+	probe := tensor.New(out.Shape()...)
+	rng.FillNormal(probe.Data(), 0, 1)
+
+	ZeroGrads(l)
+	// Re-run forward so caches match the probe-based backward.
+	out = l.Forward(x, true)
+	_ = out
+	dx := l.Backward(probe.Clone())
+
+	objective := func() float64 {
+		y := l.Forward(x, true)
+		s := 0.0
+		yd, pd := y.Data(), probe.Data()
+		for i := range yd {
+			s += yd[i] * pd[i]
+		}
+		return s
+	}
+
+	const h = 1e-5
+	// Check parameter gradients (sample at most 25 coordinates per param to
+	// bound test time).
+	for _, p := range l.Params() {
+		w := p.W.Data()
+		g := p.Grad.Data()
+		stride := len(w)/25 + 1
+		for i := 0; i < len(w); i += stride {
+			orig := w[i]
+			w[i] = orig + h
+			lp := objective()
+			w[i] = orig - h
+			lm := objective()
+			w[i] = orig
+			num := (lp - lm) / (2 * h)
+			if !closeTo(num, g[i], tol) {
+				t.Fatalf("param %s[%d]: analytic %g vs numeric %g", p.Name, i, g[i], num)
+			}
+		}
+	}
+	// Check input gradients.
+	xd := x.Data()
+	dxd := dx.Data()
+	stride := len(xd)/25 + 1
+	for i := 0; i < len(xd); i += stride {
+		orig := xd[i]
+		xd[i] = orig + h
+		lp := objective()
+		xd[i] = orig - h
+		lm := objective()
+		xd[i] = orig
+		num := (lp - lm) / (2 * h)
+		if !closeTo(num, dxd[i], tol) {
+			t.Fatalf("input[%d]: analytic %g vs numeric %g", i, dxd[i], num)
+		}
+	}
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func randInput(seed uint64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	xrand.New(seed).FillNormal(x.Data(), 0, 1)
+	return x
+}
+
+func TestGradCheckDense(t *testing.T) {
+	rng := xrand.New(1)
+	l := NewDense("fc", 7, 5, rng)
+	gradCheck(t, l, randInput(2, 4, 7), 1e-5)
+}
+
+func TestGradCheckConv2D(t *testing.T) {
+	rng := xrand.New(3)
+	l := NewConv2D("conv", 2, 3, 3, 1, 1, rng)
+	gradCheck(t, l, randInput(4, 2, 2, 5, 5), 1e-5)
+}
+
+func TestGradCheckConv2DStride2NoPad(t *testing.T) {
+	rng := xrand.New(5)
+	l := NewConv2D("conv", 3, 2, 3, 2, 0, rng)
+	gradCheck(t, l, randInput(6, 2, 3, 7, 7), 1e-5)
+}
+
+func TestGradCheckDepthwiseConv2D(t *testing.T) {
+	rng := xrand.New(7)
+	l := NewDepthwiseConv2D("dw", 3, 3, 1, 1, rng)
+	gradCheck(t, l, randInput(8, 2, 3, 5, 5), 1e-5)
+}
+
+func TestGradCheckDepthwiseConv2DStride2(t *testing.T) {
+	rng := xrand.New(9)
+	l := NewDepthwiseConv2D("dw", 2, 3, 2, 1, rng)
+	gradCheck(t, l, randInput(10, 1, 2, 6, 6), 1e-5)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	l := NewMaxPool2D(2, 2)
+	// Use distinct values to avoid ties at the max (ties make the numeric
+	// gradient ill-defined).
+	x := randInput(11, 2, 2, 4, 4)
+	gradCheck(t, l, x, 1e-5)
+}
+
+func TestGradCheckGlobalAvgPool(t *testing.T) {
+	l := NewGlobalAvgPool2D()
+	gradCheck(t, l, randInput(13, 3, 4, 3, 3), 1e-5)
+}
+
+func TestGradCheckReLU(t *testing.T) {
+	l := NewReLU()
+	// Shift inputs away from 0 where ReLU is non-differentiable.
+	x := randInput(15, 4, 6)
+	for i, v := range x.Data() {
+		if math.Abs(v) < 0.05 {
+			x.Data()[i] = v + 0.1
+		}
+	}
+	gradCheck(t, l, x, 1e-5)
+}
+
+func TestGradCheckBatchNorm(t *testing.T) {
+	l := NewBatchNorm2D("bn", 3)
+	gradCheck(t, l, randInput(17, 4, 3, 3, 3), 1e-4)
+}
+
+func TestGradCheckResidualIdentity(t *testing.T) {
+	rng := xrand.New(19)
+	main := NewSequential(
+		NewConv2D("r.c1", 2, 2, 3, 1, 1, rng),
+		NewReLU(),
+		NewConv2D("r.c2", 2, 2, 3, 1, 1, rng),
+	)
+	l := NewResidual(main, nil)
+	gradCheck(t, l, randInput(21, 2, 2, 4, 4), 1e-5)
+}
+
+func TestGradCheckResidualProjection(t *testing.T) {
+	rng := xrand.New(23)
+	main := NewSequential(
+		NewConv2D("r.c1", 2, 4, 3, 2, 1, rng),
+		NewReLU(),
+		NewConv2D("r.c2", 4, 4, 3, 1, 1, rng),
+	)
+	short := NewConv2D("r.proj", 2, 4, 1, 2, 0, rng)
+	l := NewResidual(main, short)
+	gradCheck(t, l, randInput(25, 2, 2, 4, 4), 1e-5)
+}
+
+func TestGradCheckSmallCNN(t *testing.T) {
+	rng := xrand.New(27)
+	net := NewSequential(
+		NewConv2D("c1", 1, 3, 3, 1, 1, rng),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense("fc1", 3*3*3, 8, rng),
+		NewReLU(),
+		NewDense("fc2", 8, 4, rng),
+	)
+	gradCheck(t, net, randInput(29, 2, 1, 6, 6), 1e-4)
+}

@@ -1,0 +1,127 @@
+// Package nn implements the neural-network substrate for the TDFM study: a
+// layer abstraction with explicit forward/backward passes, the layer types
+// required by the paper's seven architectures (dense, convolution,
+// depthwise convolution, batch normalization, pooling, dropout, residual
+// blocks), parameter management, and weight serialization.
+//
+// Layers cache activations between Forward and Backward, so a layer (and any
+// network built from layers) is NOT safe for concurrent use. Training in
+// this repository is single-threaded per model; parallelism, when used,
+// is across independent models.
+package nn
+
+import (
+	"fmt"
+
+	"tdfm/internal/tensor"
+)
+
+// Param is a trainable parameter tensor with its accumulated gradient.
+// Optimizers mutate W in place and zero Grad between steps.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable network stage.
+//
+// Forward consumes a batch and returns the layer output; when training is
+// true, layers cache whatever they need for Backward and apply
+// training-only behaviour (dropout masks, batch statistics). Backward
+// consumes the gradient of the loss with respect to the layer output,
+// accumulates parameter gradients, and returns the gradient with respect to
+// the layer input.
+type Layer interface {
+	Forward(x *tensor.Tensor, training bool) *tensor.Tensor
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers in order. The zero value is an empty network.
+type Sequential struct {
+	layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential returns a network composed of the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: append([]Layer(nil), layers...)}
+}
+
+// Add appends layers to the network.
+func (s *Sequential) Add(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Len returns the number of layers.
+func (s *Sequential) Len() int { return len(s.layers) }
+
+// Layers returns the underlying layer slice (not a copy; treat as read-only).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Forward runs the layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, training)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse order.
+func (s *Sequential) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		dout = s.layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns all trainable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears every parameter gradient in the network.
+func ZeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar weights in the network.
+func ParamCount(l Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// CopyWeights copies parameter values from src to dst. The two networks must
+// have identical parameter lists (same order, names, and shapes); this is
+// used to clone teacher weights in self-distillation and to restore
+// snapshots.
+func CopyWeights(dst, src Layer) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("nn: CopyWeights parameter count mismatch %d vs %d", len(dp), len(sp))
+	}
+	for i := range dp {
+		if !dp[i].W.SameShape(sp[i].W) {
+			return fmt.Errorf("nn: CopyWeights shape mismatch at %q: %v vs %v",
+				dp[i].Name, dp[i].W.Shape(), sp[i].W.Shape())
+		}
+		copy(dp[i].W.Data(), sp[i].W.Data())
+	}
+	return nil
+}

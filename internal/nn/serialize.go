@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot is a serializable copy of a network's trainable parameters and
+// batch-normalization running statistics, keyed by parameter name. Snapshots
+// are used for golden-model caching, teacher cloning, and the save/load CLI.
+type Snapshot struct {
+	Params map[string]SavedTensor
+	BNMean map[string][]float64
+	BNVar  map[string][]float64
+}
+
+// SavedTensor is a shape-tagged flat tensor payload.
+type SavedTensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// Walk visits l and every nested layer reachable through Sequential and
+// Residual containers, depth-first.
+func Walk(l Layer, visit func(Layer)) {
+	visit(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, child := range v.layers {
+			Walk(child, visit)
+		}
+	case *Residual:
+		Walk(v.main, visit)
+		if v.shortcut != nil {
+			Walk(v.shortcut, visit)
+		}
+	}
+}
+
+// TakeSnapshot captures the current weights of l.
+func TakeSnapshot(l Layer) *Snapshot {
+	s := &Snapshot{
+		Params: make(map[string]SavedTensor),
+		BNMean: make(map[string][]float64),
+		BNVar:  make(map[string][]float64),
+	}
+	for _, p := range l.Params() {
+		s.Params[p.Name] = SavedTensor{
+			Shape: p.W.Shape(),
+			Data:  append([]float64(nil), p.W.Data()...),
+		}
+	}
+	Walk(l, func(layer Layer) {
+		if bn, ok := layer.(*BatchNorm2D); ok {
+			mean, variance := bn.RunningStats()
+			s.BNMean[bn.gamma.Name] = mean
+			s.BNVar[bn.gamma.Name] = variance
+		}
+	})
+	return s
+}
+
+// Restore writes the snapshot's weights into l. Every parameter of l must be
+// present in the snapshot with a matching shape.
+func (s *Snapshot) Restore(l Layer) error {
+	for _, p := range l.Params() {
+		saved, ok := s.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(saved.Data) != p.W.Size() {
+			return fmt.Errorf("nn: snapshot parameter %q has %d values, want %d",
+				p.Name, len(saved.Data), p.W.Size())
+		}
+		copy(p.W.Data(), saved.Data)
+	}
+	var restoreErr error
+	Walk(l, func(layer Layer) {
+		bn, ok := layer.(*BatchNorm2D)
+		if !ok || restoreErr != nil {
+			return
+		}
+		mean, okM := s.BNMean[bn.gamma.Name]
+		variance, okV := s.BNVar[bn.gamma.Name]
+		if !okM || !okV {
+			return // snapshot predates BN stats; keep defaults
+		}
+		restoreErr = bn.SetRunningStats(mean, variance)
+	})
+	return restoreErr
+}
+
+// Encode writes the snapshot in gob format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("nn: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot in gob format.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// SaveWeights writes l's snapshot to path.
+func SaveWeights(l Layer, path string) error {
+	var buf bytes.Buffer
+	if err := TakeSnapshot(l).Encode(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("nn: writing weights to %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadWeights restores l's weights from path.
+func LoadWeights(l Layer, path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("nn: reading weights from %s: %w", path, err)
+	}
+	s, err := DecodeSnapshot(bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	return s.Restore(l)
+}

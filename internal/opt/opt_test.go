@@ -1,0 +1,141 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"tdfm/internal/nn"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// quadratic builds a single-parameter "network" whose loss is ½‖w - target‖²
+// so that grad = w - target; any sane optimizer must converge to target.
+func quadratic(t *testing.T, o Optimizer, steps int, tol float64) {
+	t.Helper()
+	rng := xrand.New(1)
+	d := nn.NewDense("q", 2, 2, rng)
+	p := d.Params()[0] // weight matrix only
+	target := []float64{1, -2, 3, -4}
+	for s := 0; s < steps; s++ {
+		w := p.W.Data()
+		g := p.Grad.Data()
+		for i := range w {
+			g[i] = w[i] - target[i]
+		}
+		o.Step([]*nn.Param{p})
+		p.ZeroGrad()
+	}
+	for i, v := range p.W.Data() {
+		if math.Abs(v-target[i]) > tol {
+			t.Fatalf("%s did not converge: w[%d]=%v, want %v", o.Name(), i, v, target[i])
+		}
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	quadratic(t, NewSGD(0.1, 0, 0), 200, 1e-6)
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	quadratic(t, NewSGD(0.05, 0.9, 0), 400, 1e-6)
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	quadratic(t, NewAdam(0.05), 2000, 1e-3)
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	rng := xrand.New(2)
+	d := nn.NewDense("q", 4, 4, rng)
+	p := d.Params()[0]
+	before := p.W.L2Norm()
+	s := NewSGD(0.1, 0, 0.5)
+	// Zero gradient: only decay acts.
+	for i := 0; i < 10; i++ {
+		s.Step([]*nn.Param{p})
+	}
+	if after := p.W.L2Norm(); after >= before {
+		t.Fatalf("weight decay did not shrink weights: %v -> %v", before, after)
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	s := NewSGD(0.1, 0, 0)
+	s.SetLR(0.01)
+	if s.LR() != 0.01 {
+		t.Fatal("SetLR ignored")
+	}
+	a := NewAdam(0.1)
+	a.SetLR(0.02)
+	if a.LR() != 0.02 {
+		t.Fatal("Adam SetLR ignored")
+	}
+}
+
+func TestNewSGDPanicsOnBadLR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSGD(0, 0, 0)
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecay{Every: 10, Gamma: 0.1}
+	if s.Factor(0) != 1 || s.Factor(9) != 1 {
+		t.Fatal("early factor wrong")
+	}
+	if math.Abs(s.Factor(10)-0.1) > 1e-12 || math.Abs(s.Factor(25)-0.01) > 1e-12 {
+		t.Fatal("decayed factor wrong")
+	}
+	if (StepDecay{}).Factor(100) != 1 {
+		t.Fatal("zero-Every must be constant")
+	}
+}
+
+func TestCosineDecaySchedule(t *testing.T) {
+	c := CosineDecay{Total: 10}
+	if c.Factor(0) != 1 {
+		t.Fatalf("Factor(0) = %v", c.Factor(0))
+	}
+	if math.Abs(c.Factor(5)-0.5) > 1e-12 {
+		t.Fatalf("Factor(mid) = %v", c.Factor(5))
+	}
+	if c.Factor(10) != 0 || c.Factor(15) != 0 {
+		t.Fatal("post-total factor must be 0")
+	}
+	mono := ConstSchedule{}
+	if mono.Factor(3) != 1 {
+		t.Fatal("const schedule wrong")
+	}
+}
+
+// Adam must make progress even with badly scaled gradients where plain SGD
+// with the same LR diverges slowly; sanity check on a 1-d ravine.
+func TestAdamHandlesIllConditioning(t *testing.T) {
+	rng := xrand.New(3)
+	d := nn.NewDense("q", 1, 2, rng)
+	p := d.Params()[0]
+	p.W.Data()[0], p.W.Data()[1] = 5, 5
+	a := NewAdam(0.1)
+	for s := 0; s < 3000; s++ {
+		g := p.Grad.Data()
+		w := p.W.Data()
+		g[0] = 100 * w[0]  // steep direction
+		g[1] = 0.01 * w[1] // shallow direction
+		a.Step([]*nn.Param{p})
+		p.ZeroGrad()
+	}
+	if math.Abs(p.W.Data()[0]) > 0.01 || math.Abs(p.W.Data()[1]) > 0.5 {
+		t.Fatalf("Adam failed on ill-conditioned problem: %v", p.W.Data())
+	}
+}
+
+func TestTensorUnusedImportGuard(t *testing.T) {
+	// Keep the tensor import honest (used by other tests indirectly).
+	if tensor.New(1).Size() != 1 {
+		t.Fatal("tensor broken")
+	}
+}

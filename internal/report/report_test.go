@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "longheader"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longvalue", "2")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected title+header+sep+2 rows = 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatal("title missing")
+	}
+	// Separator row must be dashes.
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator missing: %q", lines[2])
+	}
+}
+
+func TestTableRenderIncludesNotes(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}, Notes: []string{"be careful"}}
+	if !strings.Contains(tbl.String(), "note: be careful") {
+		t.Fatal("note not rendered")
+	}
+}
+
+func TestTableAddRowCopies(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}}
+	cells := []string{"v"}
+	tbl.AddRow(cells...)
+	cells[0] = "mutated"
+	if tbl.Rows[0][0] != "v" {
+		t.Fatal("AddRow aliased caller slice")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"x", "y"}}
+	tbl.AddRow("1", "a,b") // comma must be quoted
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("csv quoting wrong: %q", out)
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	empty := Bar("x", 0, 0, 10)
+	full := Bar("x", 1, 0, 10)
+	if strings.Count(empty, "█") != 0 {
+		t.Fatalf("zero bar has blocks: %q", empty)
+	}
+	if strings.Count(full, "█") != 10 {
+		t.Fatalf("full bar has %d blocks", strings.Count(full, "█"))
+	}
+	half := Bar("x", 0.5, 0, 10)
+	if strings.Count(half, "█") != 5 {
+		t.Fatalf("half bar has %d blocks", strings.Count(half, "█"))
+	}
+}
+
+func TestBarClampsOutOfRange(t *testing.T) {
+	over := Bar("x", 1.5, 0, 10)
+	if strings.Count(over, "█") != 10 {
+		t.Fatal("bar should clamp at 1.0")
+	}
+	under := Bar("x", -0.2, 0, 10)
+	if strings.Count(under, "█") != 0 {
+		t.Fatal("bar should clamp at 0")
+	}
+}
+
+func TestBarIncludesCI(t *testing.T) {
+	withCI := Bar("x", 0.5, 0.05, 10)
+	if !strings.Contains(withCI, "±5.0") {
+		t.Fatalf("CI missing: %q", withCI)
+	}
+	withoutCI := Bar("x", 0.5, 0, 10)
+	if strings.Contains(withoutCI, "±") {
+		t.Fatalf("unexpected CI: %q", withoutCI)
+	}
+}
+
+func TestBarDefaultWidth(t *testing.T) {
+	s := Bar("x", 1, 0, 0)
+	if strings.Count(s, "█") != 40 {
+		t.Fatal("default width should be 40")
+	}
+}
+
+func TestPercentHelpers(t *testing.T) {
+	if PercentCell(0.876) != "88%" {
+		t.Fatalf("PercentCell = %q", PercentCell(0.876))
+	}
+	if PercentCI(0.5, 0.012) != "50.0% ±1.2" {
+		t.Fatalf("PercentCI = %q", PercentCI(0.5, 0.012))
+	}
+	if PercentCI(0.5, 0) != "50.0%" {
+		t.Fatalf("PercentCI no-CI = %q", PercentCI(0.5, 0))
+	}
+}

@@ -1,0 +1,158 @@
+// Package survey encodes the paper's literature survey (§III-A): the top
+// three candidate techniques per TDFM approach, the five selection criteria
+// they are screened against, and the selection logic that picks one
+// representative per approach. Table I of the paper is reproduced from this
+// data.
+package survey
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Approach is one of the five TDFM approaches of the study.
+type Approach string
+
+// The five TDFM approaches.
+const (
+	LabelSmoothing        Approach = "Label Smoothing"
+	LabelCorrection       Approach = "Label Correction"
+	RobustLoss            Approach = "Robust Loss"
+	KnowledgeDistillation Approach = "Knowledge Distillation"
+	Ensemble              Approach = "Ensemble"
+)
+
+// Approaches returns the five approaches in the paper's table order.
+func Approaches() []Approach {
+	return []Approach{LabelSmoothing, LabelCorrection, RobustLoss, KnowledgeDistillation, Ensemble}
+}
+
+// Criteria are the five selection criteria of §III-A. A technique must meet
+// all of them to be selected as an approach's representative:
+//
+//  1. code is available and easily modifiable;
+//  2. evaluated on more than one architecture type and dataset;
+//  3. capable of tolerating artificial noise;
+//  4. does not rely on pre-trained weights;
+//  5. standalone (not a combination of other techniques).
+type Criteria struct {
+	CodeAvailable   bool
+	ArchAgnostic    bool
+	ArtificialNoise bool
+	NotPreTrained   bool
+	Standalone      bool
+}
+
+// MeetsAll reports whether every criterion is satisfied.
+func (c Criteria) MeetsAll() bool {
+	return c.CodeAvailable && c.ArchAgnostic && c.ArtificialNoise && c.NotPreTrained && c.Standalone
+}
+
+// Candidate is one surveyed technique.
+type Candidate struct {
+	Approach  Approach
+	Technique string
+	Reference string // citation tag from the paper
+	Criteria  Criteria
+	// Reimplemented marks approaches for which no candidate met every
+	// criterion and the authors re-implemented a representative from the
+	// articles' descriptions (§III-A: KD and Ensemble).
+	Reimplemented bool
+}
+
+// Candidates returns the 15 surveyed techniques of Table I, three per
+// approach, in table order.
+func Candidates() []Candidate {
+	return []Candidate{
+		{Approach: LabelSmoothing, Technique: "Label Relaxation", Reference: "[16]",
+			Criteria: Criteria{true, true, true, true, true}},
+		{Approach: LabelSmoothing, Technique: "Lukasik et al.", Reference: "[27]",
+			Criteria: Criteria{false, false, true, true, false}},
+		{Approach: LabelSmoothing, Technique: "OLS", Reference: "[28]",
+			Criteria: Criteria{false, true, true, true, true}},
+
+		{Approach: LabelCorrection, Technique: "Meta Label Correction", Reference: "[17]",
+			Criteria: Criteria{true, true, true, true, true}},
+		{Approach: LabelCorrection, Technique: "ProSelfLC", Reference: "[29]",
+			Criteria: Criteria{false, false, true, true, true}},
+		{Approach: LabelCorrection, Technique: "SMP", Reference: "[30]",
+			Criteria: Criteria{true, false, false, false, true}},
+
+		{Approach: RobustLoss, Technique: "Active-Passive Losses", Reference: "[18]",
+			Criteria: Criteria{true, true, true, true, true}},
+		{Approach: RobustLoss, Technique: "Charoenphakdee et al.", Reference: "[31]",
+			Criteria: Criteria{true, false, true, true, true}},
+		{Approach: RobustLoss, Technique: "Zhang et al.", Reference: "[32]",
+			Criteria: Criteria{true, false, true, true, true}},
+
+		{Approach: KnowledgeDistillation, Technique: "CMD-P", Reference: "[33]",
+			Criteria: Criteria{false, true, true, false, true}},
+		{Approach: KnowledgeDistillation, Technique: "KD-Lib", Reference: "[34]",
+			Criteria: Criteria{true, true, false, true, false}},
+		{Approach: KnowledgeDistillation, Technique: "Self Distillation", Reference: "[19]",
+			Criteria: Criteria{true, true, false, true, true}, Reimplemented: true},
+
+		{Approach: Ensemble, Technique: "LTEC", Reference: "[35]",
+			Criteria: Criteria{true, false, true, true, true}},
+		{Approach: Ensemble, Technique: "SELF", Reference: "[36]",
+			Criteria: Criteria{false, false, true, true, false}},
+		{Approach: Ensemble, Technique: "Super-Learner", Reference: "[20]",
+			Criteria: Criteria{false, true, false, true, true}, Reimplemented: true},
+	}
+}
+
+// Selection maps each approach to its chosen representative.
+type Selection struct {
+	Approach       Approach
+	Representative Candidate
+	// ByCriteria is true when the representative met all five criteria;
+	// false when it was re-implemented from descriptions because no
+	// candidate qualified.
+	ByCriteria bool
+}
+
+// Select applies the paper's selection process: per approach, pick the
+// candidate meeting all criteria; if none qualifies, pick the candidate the
+// authors re-implemented.
+func Select(candidates []Candidate) ([]Selection, error) {
+	byApproach := make(map[Approach][]Candidate)
+	for _, c := range candidates {
+		byApproach[c.Approach] = append(byApproach[c.Approach], c)
+	}
+	var out []Selection
+	for _, a := range Approaches() {
+		group := byApproach[a]
+		if len(group) == 0 {
+			return nil, fmt.Errorf("survey: no candidates for approach %q", a)
+		}
+		var qualified []Candidate
+		for _, c := range group {
+			if c.Criteria.MeetsAll() {
+				qualified = append(qualified, c)
+			}
+		}
+		switch {
+		case len(qualified) == 1:
+			out = append(out, Selection{Approach: a, Representative: qualified[0], ByCriteria: true})
+		case len(qualified) > 1:
+			// Deterministic tie-break (does not occur in the paper's data).
+			sort.Slice(qualified, func(i, j int) bool { return qualified[i].Technique < qualified[j].Technique })
+			out = append(out, Selection{Approach: a, Representative: qualified[0], ByCriteria: true})
+		default:
+			var reimpl []Candidate
+			for _, c := range group {
+				if c.Reimplemented {
+					reimpl = append(reimpl, c)
+				}
+			}
+			if len(reimpl) == 0 {
+				return nil, fmt.Errorf("survey: approach %q has no qualified or re-implemented candidate", a)
+			}
+			out = append(out, Selection{Approach: a, Representative: reimpl[0], ByCriteria: false})
+		}
+	}
+	return out, nil
+}
+
+// StudySelection returns the paper's final representative per approach.
+func StudySelection() ([]Selection, error) { return Select(Candidates()) }

@@ -1,0 +1,114 @@
+package survey
+
+import "testing"
+
+func TestCandidatesShape(t *testing.T) {
+	cs := Candidates()
+	if len(cs) != 15 {
+		t.Fatalf("Table I has %d rows, want 15", len(cs))
+	}
+	perApproach := map[Approach]int{}
+	for _, c := range cs {
+		perApproach[c.Approach]++
+		if c.Technique == "" || c.Reference == "" {
+			t.Fatalf("incomplete candidate %+v", c)
+		}
+	}
+	for _, a := range Approaches() {
+		if perApproach[a] != 3 {
+			t.Fatalf("approach %s has %d candidates, want 3", a, perApproach[a])
+		}
+	}
+}
+
+func TestMeetsAll(t *testing.T) {
+	all := Criteria{true, true, true, true, true}
+	if !all.MeetsAll() {
+		t.Fatal("all-true must qualify")
+	}
+	for i := 0; i < 5; i++ {
+		c := all
+		switch i {
+		case 0:
+			c.CodeAvailable = false
+		case 1:
+			c.ArchAgnostic = false
+		case 2:
+			c.ArtificialNoise = false
+		case 3:
+			c.NotPreTrained = false
+		case 4:
+			c.Standalone = false
+		}
+		if c.MeetsAll() {
+			t.Fatalf("criterion %d ignored", i)
+		}
+	}
+}
+
+// The selection must reproduce the paper's representatives: the asterisked
+// rows of Table I for LS/LC/RL and the re-implemented techniques for KD and
+// Ensemble.
+func TestStudySelectionMatchesPaper(t *testing.T) {
+	sel, err := StudySelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Approach]struct {
+		tech       string
+		byCriteria bool
+	}{
+		LabelSmoothing:        {"Label Relaxation", true},
+		LabelCorrection:       {"Meta Label Correction", true},
+		RobustLoss:            {"Active-Passive Losses", true},
+		KnowledgeDistillation: {"Self Distillation", false},
+		Ensemble:              {"Super-Learner", false},
+	}
+	if len(sel) != 5 {
+		t.Fatalf("selected %d representatives", len(sel))
+	}
+	for _, s := range sel {
+		w := want[s.Approach]
+		if s.Representative.Technique != w.tech {
+			t.Errorf("%s: selected %q, want %q", s.Approach, s.Representative.Technique, w.tech)
+		}
+		if s.ByCriteria != w.byCriteria {
+			t.Errorf("%s: byCriteria = %v, want %v", s.Approach, s.ByCriteria, w.byCriteria)
+		}
+	}
+}
+
+func TestSelectErrorsOnEmptyApproach(t *testing.T) {
+	if _, err := Select(nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}
+
+func TestSelectErrorsWithoutFallback(t *testing.T) {
+	cs := []Candidate{{
+		Approach: LabelSmoothing, Technique: "X", Reference: "[0]",
+		Criteria: Criteria{}, // fails criteria, not reimplemented
+	}}
+	// Other approaches missing entirely → error either way.
+	if _, err := Select(cs); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSelectDeterministicTieBreak(t *testing.T) {
+	all := Criteria{true, true, true, true, true}
+	cs := []Candidate{
+		{Approach: LabelSmoothing, Technique: "Zeta", Reference: "[1]", Criteria: all},
+		{Approach: LabelSmoothing, Technique: "Alpha", Reference: "[2]", Criteria: all},
+	}
+	for _, a := range Approaches()[1:] {
+		cs = append(cs, Candidate{Approach: a, Technique: "T", Reference: "[3]", Criteria: all})
+	}
+	sel, err := Select(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0].Representative.Technique != "Alpha" {
+		t.Fatalf("tie-break picked %q", sel[0].Representative.Technique)
+	}
+}

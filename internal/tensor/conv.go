@@ -1,0 +1,161 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window
+// applied to an input of spatial size H×W.
+type ConvGeom struct {
+	KH, KW     int // kernel size
+	StrideH    int
+	StrideW    int
+	PadH, PadW int // symmetric zero padding
+}
+
+// OutSize returns the output spatial dimensions for an input of size h×w.
+func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*g.PadH-g.KH)/g.StrideH + 1
+	ow = (w+2*g.PadW-g.KW)/g.StrideW + 1
+	return oh, ow
+}
+
+// Validate panics if the geometry is degenerate for an h×w input.
+func (g ConvGeom) Validate(h, w int) {
+	if g.KH <= 0 || g.KW <= 0 || g.StrideH <= 0 || g.StrideW <= 0 || g.PadH < 0 || g.PadW < 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry %+v", g))
+	}
+	oh, ow := g.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v produces empty output for %dx%d input", g, h, w))
+	}
+}
+
+// SamePad returns the padding that keeps output size equal to input size for
+// stride-1 odd kernels (the only "same" case the model zoo uses).
+func SamePad(k int) int { return (k - 1) / 2 }
+
+// Im2Col unrolls x, an [N, C, H, W] tensor, into a matrix of shape
+// [N*OH*OW, C*KH*KW] where each row holds one receptive field. Padding is
+// implicit zeros. The resulting matrix right-multiplied by a [C*KH*KW, OutC]
+// weight matrix computes the convolution for every output position.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs [N,C,H,W], got %v", x.Shape()))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	g.Validate(h, w)
+	oh, ow := g.OutSize(h, w)
+	cols := New(n*oh*ow, c*g.KH*g.KW)
+	colStride := c * g.KH * g.KW
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*g.StrideH - g.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*g.StrideW - g.PadW
+				row := ((img*oh+oy)*ow + ox) * colStride
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < g.KH; ky++ {
+						iy := iy0 + ky
+						dst := row + (ch*g.KH+ky)*g.KW
+						if iy < 0 || iy >= h {
+							continue // leave zeros
+						}
+						src := chBase + iy*w
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							cols.data[dst+kx] = x.data[src+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulating on overlap) a
+// [N*OH*OW, C*KH*KW] column matrix back into an [N, C, H, W] tensor. Used to
+// compute input gradients of convolution layers.
+func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
+	g.Validate(h, w)
+	oh, ow := g.OutSize(h, w)
+	colStride := c * g.KH * g.KW
+	if cols.Dims() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != colStride {
+		panic(fmt.Sprintf("tensor: Col2Im got %v, want [%d,%d]", cols.Shape(), n*oh*ow, colStride))
+	}
+	x := New(n, c, h, w)
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*g.StrideH - g.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*g.StrideW - g.PadW
+				row := ((img*oh+oy)*ow + ox) * colStride
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < g.KH; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := row + (ch*g.KH+ky)*g.KW
+						dst := chBase + iy*w
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							x.data[dst+ix] += cols.data[src+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// NCHWToRows converts an [N, C, OH, OW] activation produced as a
+// [N*OH*OW, C] matmul result laid out position-major back and forth.
+// RowsToNCHW reinterprets rows (position-major [N*OH*OW, C]) as NCHW.
+func RowsToNCHW(rows *Tensor, n, c, oh, ow int) *Tensor {
+	if rows.Dims() != 2 || rows.shape[0] != n*oh*ow || rows.shape[1] != c {
+		panic(fmt.Sprintf("tensor: RowsToNCHW got %v, want [%d,%d]", rows.Shape(), n*oh*ow, c))
+	}
+	out := New(n, c, oh, ow)
+	for img := 0; img < n; img++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := ((img*oh+y)*ow + x) * c
+				for ch := 0; ch < c; ch++ {
+					out.data[((img*c+ch)*oh+y)*ow+x] = rows.data[row+ch]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NCHWToRows converts an [N, C, OH, OW] tensor to position-major rows
+// [N*OH*OW, C]; the inverse of RowsToNCHW.
+func NCHWToRows(x *Tensor) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: NCHWToRows needs [N,C,H,W], got %v", x.Shape()))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n*h*w, c)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					out.data[((img*h+y)*w+xx)*c+ch] = x.data[((img*c+ch)*h+y)*w+xx]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdfm/internal/xrand"
+)
+
+// Property: Transpose2D is an involution.
+func TestQuickTransposeInvolution(t *testing.T) {
+	rng := xrand.New(31)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%941 + 1)
+		m, n := 1+r.IntN(8), 1+r.IntN(8)
+		a := New(m, n)
+		rng.FillNormal(a.Data(), 0, 1)
+		return a.Transpose2D().Transpose2D().Equal(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling is linear — (a+b)·s == a·s + b·s.
+func TestQuickScaleLinearity(t *testing.T) {
+	rng := xrand.New(33)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%937 + 1)
+		n := 1 + r.IntN(20)
+		s := r.Uniform(-3, 3)
+		a, b := New(n), New(n)
+		rng.FillNormal(a.Data(), 0, 1)
+		rng.FillNormal(b.Data(), 0, 1)
+		left := a.Add(b).Scale(s)
+		right := a.Scale(s).Add(b.Scale(s))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddScaledIn(s, u) equals Add(u.Scale(s)).
+func TestQuickAddScaledConsistency(t *testing.T) {
+	rng := xrand.New(35)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%929 + 1)
+		n := 1 + r.IntN(20)
+		s := r.Uniform(-2, 2)
+		a, u := New(n), New(n)
+		rng.FillNormal(a.Data(), 0, 1)
+		rng.FillNormal(u.Data(), 0, 1)
+		left := a.Clone().AddScaledIn(s, u)
+		right := a.Add(u.Scale(s))
+		return left.Equal(right, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SumRows equals the matmul with a ones row-vector.
+func TestQuickSumRowsViaMatMul(t *testing.T) {
+	rng := xrand.New(37)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%919 + 1)
+		m, n := 1+r.IntN(6), 1+r.IntN(6)
+		a := New(m, n)
+		rng.FillNormal(a.Data(), 0, 1)
+		ones := Full(1, 1, m)
+		viaMatMul := ones.MatMul(a).Reshape(n)
+		return a.SumRows().Equal(viaMatMul, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the L2 norm is preserved under transposition and flattening.
+func TestQuickNormInvariants(t *testing.T) {
+	rng := xrand.New(39)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%911 + 1)
+		m, n := 1+r.IntN(6), 1+r.IntN(6)
+		a := New(m, n)
+		rng.FillNormal(a.Data(), 0, 1)
+		n1 := a.L2Norm()
+		n2 := a.Transpose2D().L2Norm()
+		n3 := a.Reshape(m * n).L2Norm()
+		return abs(n1-n2) < 1e-9 && abs(n1-n3) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Property: Im2Col output contains exactly the input values (with
+// zero-padding) — its column sums with a ones kernel equal box-filter sums.
+func TestQuickIm2ColMassConservation(t *testing.T) {
+	rng := xrand.New(41)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%907 + 1)
+		h := 3 + r.IntN(4)
+		w := 3 + r.IntN(4)
+		x := New(1, 1, h, w)
+		rng.FillNormal(x.Data(), 0, 1)
+		// Stride-1 1x1 kernel, no padding: Im2Col must be a bijection on
+		// values, so total mass is conserved.
+		g := ConvGeom{KH: 1, KW: 1, StrideH: 1, StrideW: 1}
+		cols := Im2Col(x, g)
+		return abs(cols.Sum()-x.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MatMul against a known identity: A·I = A and I·A = A.
+func TestMatMulIdentity(t *testing.T) {
+	rng := xrand.New(43)
+	a := New(4, 4)
+	rng.FillNormal(a.Data(), 0, 1)
+	eye := New(4, 4)
+	for i := 0; i < 4; i++ {
+		eye.Set(1, i, i)
+	}
+	if !a.MatMul(eye).Equal(a, 1e-12) || !eye.MatMul(a).Equal(a, 1e-12) {
+		t.Fatal("identity multiplication failed")
+	}
+}
+
+// Associativity on small matrices: (AB)C == A(BC).
+func TestQuickMatMulAssociative(t *testing.T) {
+	rng := xrand.New(45)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed%887 + 1)
+		m, k, l, n := 1+r.IntN(4), 1+r.IntN(4), 1+r.IntN(4), 1+r.IntN(4)
+		a := New(m, k)
+		b := New(k, l)
+		c := New(l, n)
+		rng.FillNormal(a.Data(), 0, 1)
+		rng.FillNormal(b.Data(), 0, 1)
+		rng.FillNormal(c.Data(), 0, 1)
+		left := a.MatMul(b).MatMul(c)
+		right := a.MatMul(b.MatMul(c))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

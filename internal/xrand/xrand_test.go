@@ -1,0 +1,207 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/64 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Children with different labels must differ; same label from the same
+	// parent state must agree.
+	p1, p2 := New(7), New(7)
+	c1 := p1.Split("init")
+	c2 := p2.Split("init")
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("same-label splits from identical parents diverged")
+		}
+	}
+	p3, p4 := New(7), New(7)
+	d1 := p3.Split("init")
+	d2 := p4.Split("data")
+	diff := false
+	for i := 0; i < 50; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different-label splits produced identical streams")
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.IntN(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	n := 20000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("mean = %v, want ≈5", mean)
+	}
+	if math.Abs(std-2) > 0.1 {
+		t.Errorf("std = %v, want ≈2", std)
+	}
+}
+
+// Property: Choice(n, k) yields k distinct in-range indices.
+func TestQuickChoiceDistinct(t *testing.T) {
+	r := New(8)
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%50)
+		k := int(seed % uint64(n+1))
+		got := r.Choice(n, k)
+		if len(got) != k {
+			return false
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoicePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Choice(3, 4)
+}
+
+// Property: Perm(n) is a permutation of 0..n-1.
+func TestQuickPermIsPermutation(t *testing.T) {
+	r := New(9)
+	f := func(seed uint64) bool {
+		n := int(seed%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(10)
+	xs := []int{1, 2, 2, 3, 5, 8}
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	r.Shuffle(xs)
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != total || len(xs) != 6 {
+		t.Fatal("Shuffle changed contents")
+	}
+}
+
+func TestFillHelpers(t *testing.T) {
+	r := New(11)
+	buf := make([]float64, 500)
+	r.FillUniform(buf, 2, 4)
+	for _, v := range buf {
+		if v < 2 || v >= 4 {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+	r.FillNormal(buf, 0, 1)
+	anyNonZero := false
+	for _, v := range buf {
+		if v != 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		t.Fatal("FillNormal produced all zeros")
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}

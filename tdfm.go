@@ -1,0 +1,129 @@
+// Package tdfm is the public facade of the TDFM study library — a Go
+// reproduction of "The Fault in Our Data Stars: Studying Mitigation
+// Techniques against Faulty Training Data in Machine Learning
+// Applications" (DSN 2022).
+//
+// The facade re-exports the pieces a downstream user needs to protect
+// their own training pipelines:
+//
+//   - the five TDFM techniques plus the unprotected baseline (Techniques,
+//     NewTechnique) operating on labelled image datasets;
+//   - dataset synthesis for the three study stand-ins (GenerateDataset);
+//   - the TF-DM-equivalent fault injector (InjectFaults);
+//   - the study metrics (Accuracy, AccuracyDelta);
+//   - the experiment runner regenerating every table and figure of the
+//     paper (NewRunner).
+//
+// A minimal end-to-end use:
+//
+//	train, test, _ := tdfm.GenerateDataset(tdfm.GTSRBLike(tdfm.ScaleTiny, 42))
+//	faulty, _, _ := tdfm.InjectFaults(train, 7, tdfm.FaultSpec{Type: tdfm.Mislabel, Rate: 0.3})
+//	tech, _ := tdfm.NewTechnique("ls")
+//	model, _ := tech.Train(tdfm.TrainConfig{Arch: "convnet"}, tdfm.TrainSet{Data: faulty}, tdfm.NewRNG(1))
+//	fmt.Println(tdfm.Accuracy(model.Predict(test.X), test.Labels))
+//
+// See the examples/ directory for complete programs and cmd/tdfmbench for
+// the experiment harness.
+package tdfm
+
+import (
+	"tdfm/internal/core"
+	"tdfm/internal/data"
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/metrics"
+	"tdfm/internal/xrand"
+)
+
+// Re-exported data types.
+type (
+	// Dataset is a labelled image-classification dataset.
+	Dataset = data.Dataset
+	// DatasetConfig parameterizes synthetic dataset generation.
+	DatasetConfig = datagen.Config
+	// Scale selects a dataset size tier.
+	Scale = datagen.Scale
+	// FaultSpec is one fault-injection step (type + rate).
+	FaultSpec = faultinject.Spec
+	// FaultType enumerates mislabelling, repetition, and removal faults.
+	FaultType = faultinject.Type
+	// Technique is a training-data fault mitigation approach.
+	Technique = core.Technique
+	// Classifier is a trained model ready for inference.
+	Classifier = core.Classifier
+	// TrainConfig controls a technique's training run.
+	TrainConfig = core.Config
+	// TrainSet bundles training data with known-clean indices.
+	TrainSet = core.TrainSet
+	// RNG is the deterministic random stream used everywhere.
+	RNG = xrand.RNG
+	// Runner executes the paper's experiments with memoization.
+	Runner = experiment.Runner
+	// Summary holds replication statistics (mean, std, 95% CI).
+	Summary = metrics.Summary
+)
+
+// Dataset size tiers.
+const (
+	ScaleTiny   = datagen.ScaleTiny
+	ScaleSmall  = datagen.ScaleSmall
+	ScaleMedium = datagen.ScaleMedium
+)
+
+// Fault types.
+const (
+	Mislabel = faultinject.Mislabel
+	Repeat   = faultinject.Repeat
+	Remove   = faultinject.Remove
+)
+
+// NewRNG returns a deterministic random stream for the given seed.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// CIFAR10Like returns the CIFAR-10 stand-in configuration.
+func CIFAR10Like(scale Scale, seed uint64) DatasetConfig { return datagen.CIFAR10Like(scale, seed) }
+
+// GTSRBLike returns the GTSRB stand-in configuration.
+func GTSRBLike(scale Scale, seed uint64) DatasetConfig { return datagen.GTSRBLike(scale, seed) }
+
+// PneumoniaLike returns the Pneumonia stand-in configuration.
+func PneumoniaLike(scale Scale, seed uint64) DatasetConfig { return datagen.PneumoniaLike(scale, seed) }
+
+// GTZANLike returns the GTZAN music-genre stand-in configuration — the
+// paper's future-work direction of expanding the evaluation beyond image
+// data (its fault taxonomy was motivated by GTZAN's fault census).
+func GTZANLike(scale Scale, seed uint64) DatasetConfig { return datagen.GTZANLike(scale, seed) }
+
+// GenerateDataset renders the train and test splits of a synthetic dataset.
+func GenerateDataset(cfg DatasetConfig) (train, test *Dataset, err error) {
+	return datagen.Generate(cfg)
+}
+
+// NewTechnique returns a study technique by short name: "base", "ls", "lc",
+// "rl", "kd", or "ens".
+func NewTechnique(name string) (Technique, error) { return core.Get(name) }
+
+// Techniques returns the study technique short names in table order.
+func Techniques() []string { return core.StudyOrder() }
+
+// InjectFaults applies the fault specs to a copy of ds using a stream
+// seeded by seed, returning the faulted dataset and per-step reports.
+func InjectFaults(ds *Dataset, seed uint64, specs ...FaultSpec) (*Dataset, []faultinject.Report, error) {
+	return faultinject.New(xrand.New(seed)).Inject(ds, specs...)
+}
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(pred, labels []int) float64 { return metrics.Accuracy(pred, labels) }
+
+// AccuracyDelta returns the paper's AD metric: the fraction of test points
+// the golden model classified correctly that the faulty model gets wrong.
+func AccuracyDelta(goldenPred, faultyPred, labels []int) float64 {
+	return metrics.AccuracyDelta(goldenPred, faultyPred, labels)
+}
+
+// NewRunner returns an experiment runner reproducing the paper's protocol
+// at the given dataset scale, root seed, and repetition count.
+func NewRunner(scale Scale, seed uint64, reps int) *Runner {
+	return experiment.NewRunner(scale, seed, reps)
+}
