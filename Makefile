@@ -1,6 +1,9 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test bench repro examples vet fmt clean
+.PHONY: build test test-race bench bench-parallel repro examples vet fmt clean
+
+# Worker-pool size for bench-parallel (the serial leg always runs at 1).
+WORKERS ?= 4
 
 build:
 	go build ./...
@@ -14,9 +17,24 @@ fmt:
 test:
 	go test ./...
 
+# Race-detector pass over the whole module (quality gate, DESIGN.md §6).
+test-race:
+	go test -race ./...
+
 # Full benchmark suite: regenerates every table/figure once (tiny scale).
 bench:
 	go test -bench=. -benchmem -timeout 120m ./...
+
+# Parallel-speedup check (E11): run the §IV-E overhead grid serially and at
+# $(WORKERS) workers, then print the wall-clock ratio.
+bench-parallel:
+	@echo "== BenchmarkOverhead, 1 worker =="
+	@TDFM_WORKERS=1 go test -run '^$$' -bench '^BenchmarkOverhead$$' -benchtime 1x -timeout 60m . | tee /tmp/tdfm_bench_serial.txt
+	@echo "== BenchmarkOverhead, $(WORKERS) workers =="
+	@TDFM_WORKERS=$(WORKERS) go test -run '^$$' -bench '^BenchmarkOverhead$$' -benchtime 1x -timeout 60m . | tee /tmp/tdfm_bench_par.txt
+	@s=$$(awk '/^BenchmarkOverhead/ {print $$3}' /tmp/tdfm_bench_serial.txt); \
+	 p=$$(awk '/^BenchmarkOverhead/ {print $$3}' /tmp/tdfm_bench_par.txt); \
+	 awk -v s="$$s" -v p="$$p" -v w="$(WORKERS)" 'BEGIN { printf "speedup at %s workers: %.2fx (%.0f ns/op serial, %.0f ns/op parallel)\n", w, s/p, s, p }'
 
 # Regenerate the entire paper via the CLI (higher fidelity than `bench`).
 repro:

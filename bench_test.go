@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -23,7 +24,19 @@ import (
 	"tdfm/internal/experiment"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/models"
+	"tdfm/internal/parallel"
 )
+
+// benchWorkers reads the TDFM_WORKERS environment variable (used by `make
+// bench-parallel` to benchmark the same grid at different pool sizes).
+// Unset or invalid means 0: the runner and budget keep their defaults.
+func benchWorkers() int {
+	n, err := strconv.Atoi(os.Getenv("TDFM_WORKERS"))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
 
 var (
 	benchOnce   sync.Once
@@ -193,9 +206,16 @@ func BenchmarkCombinedFaults(b *testing.B) {
 
 // BenchmarkOverhead regenerates the §IV-E runtime-overhead analysis. It
 // needs uncached timings, so it uses its own fresh runner per iteration.
+// Set TDFM_WORKERS to benchmark the experiment pool at a given size
+// (results are identical at any setting; only wall-clock changes).
 func BenchmarkOverhead(b *testing.B) {
+	if w := benchWorkers(); w > 0 {
+		parallel.SetBudget(w)
+		defer parallel.SetBudget(0)
+	}
 	for i := 0; i < b.N; i++ {
 		fresh := experiment.NewRunner(datagen.ScaleTiny, uint64(1000+i), 1)
+		fresh.Workers = benchWorkers()
 		rows, err := fresh.Overhead("gtsrblike", models.ConvNet,
 			[]experiment.FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}})
 		if err != nil {

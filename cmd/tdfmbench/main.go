@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tdfmbench -exp <experiment> [-scale tiny|small|medium] [-reps N]
-//	          [-seed S] [-csv out.csv] [-progress]
+//	          [-seed S] [-workers W] [-csv out.csv] [-progress]
 //
 // Experiments: table1 table2 table3 table4 motivating fig3-mislabel
 // fig3-removal fig4-mislabel fig4-repetition combined overhead all.
@@ -18,11 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"tdfm/internal/datagen"
 	"tdfm/internal/experiment"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/models"
+	"tdfm/internal/parallel"
 	"tdfm/internal/report"
 )
 
@@ -42,6 +44,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "root random seed")
 		csvPath  = fs.String("csv", "", "write raw experiment data as CSV to this path")
 		progress = fs.Bool("progress", false, "print one line per trained model")
+		workersN = fs.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +53,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	workers, err := resolveWorkers(*workersN)
+	if err != nil {
+		return err
+	}
+	parallel.SetBudget(workers)
 	r := experiment.NewRunner(scale, *seed, *reps)
+	r.Workers = workers
 	if *progress {
 		r.Progress = os.Stderr
 	}
@@ -123,12 +132,13 @@ func run(args []string) error {
 			experiment.RenderCombined(out, comps)
 			return nil
 		case "overhead":
-			rows, err := r.Overhead("gtsrblike", models.ConvNet,
+			rows, speedup, err := r.OverheadWithSpeedup("gtsrblike", models.ConvNet,
 				[]experiment.FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}})
 			if err != nil {
 				return err
 			}
 			experiment.RenderOverhead(out, rows)
+			experiment.RenderSpeedup(out, speedup)
 			return nil
 		case "ablate-ens":
 			pts, err := r.AblateEnsembleSize("gtsrblike", 0.3, []int{1, 3, 5})
@@ -218,4 +228,16 @@ func parseScale(s string) (datagen.Scale, error) {
 	default:
 		return 0, fmt.Errorf("unknown scale %q (want tiny|small|medium)", s)
 	}
+}
+
+// resolveWorkers validates the -workers flag: 0 means one worker per
+// available CPU, negatives are rejected.
+func resolveWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0, got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
 }

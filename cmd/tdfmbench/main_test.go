@@ -1,6 +1,37 @@
 package main
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if w, err := resolveWorkers(0); err != nil || w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolveWorkers(0) = %d, %v; want GOMAXPROCS default", w, err)
+	}
+	if w, err := resolveWorkers(3); err != nil || w != 3 {
+		t.Fatalf("resolveWorkers(3) = %d, %v", w, err)
+	}
+	if _, err := resolveWorkers(-1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-workers", "-2"}); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}
+
+func TestRunWorkersFlagParsed(t *testing.T) {
+	// A static experiment exercises the flag path without training.
+	if err := run([]string{"-exp", "table1", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table1", "-workers", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestParseScale(t *testing.T) {
 	for _, s := range []string{"tiny", "small", "medium"} {

@@ -5,13 +5,14 @@
 // Usage:
 //
 //	trainmodel -model resnet18 -dataset gtsrblike -technique ls \
-//	           -faults mislabel@0.3 [-epochs 16] [-save weights.gob]
+//	           -faults mislabel@0.3 [-epochs 16] [-workers W] [-save weights.gob]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -20,6 +21,8 @@ import (
 	"tdfm/internal/datagen"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/metrics"
+	"tdfm/internal/parallel"
+	"tdfm/internal/tensor"
 	"tdfm/internal/xrand"
 )
 
@@ -42,6 +45,7 @@ func run(args []string) error {
 		scaleStr = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
 		clean    = fs.Float64("clean", 0.1, "clean fraction reserved for label correction")
 		save     = fs.String("save", "", "write the trained technique model's weights to this path (gob)")
+		workersN = fs.Int("workers", 0, "worker pool size for ensemble members and tensor kernels (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +54,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	workers, err := resolveWorkers(*workersN)
+	if err != nil {
+		return err
+	}
+	parallel.SetBudget(workers)
+	tensor.SetParallelism(workers)
 	cfg, ok := datagen.Presets(scale, *seed)[*dataset]
 	if !ok {
 		return fmt.Errorf("unknown dataset %q", *dataset)
@@ -166,4 +176,16 @@ func parseScale(s string) (datagen.Scale, error) {
 	default:
 		return 0, fmt.Errorf("unknown scale %q", s)
 	}
+}
+
+// resolveWorkers validates the -workers flag: 0 means one worker per
+// available CPU, negatives are rejected.
+func resolveWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-workers must be >= 0, got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
 }

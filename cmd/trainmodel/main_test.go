@@ -3,8 +3,27 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
+
+func TestResolveWorkers(t *testing.T) {
+	if w, err := resolveWorkers(0); err != nil || w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolveWorkers(0) = %d, %v; want GOMAXPROCS default", w, err)
+	}
+	if w, err := resolveWorkers(5); err != nil || w != 5 {
+		t.Fatalf("resolveWorkers(5) = %d, %v", w, err)
+	}
+	if _, err := resolveWorkers(-4); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	if err := run([]string{"-model", "convnet", "-epochs", "1", "-workers", "-1"}); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}
 
 func TestParseSpecsAndScale(t *testing.T) {
 	specs, err := parseSpecs("remove@0.5")
@@ -28,7 +47,7 @@ func TestRunTrainsAndSaves(t *testing.T) {
 	err := run([]string{
 		"-model", "convnet", "-dataset", "pneumonialike",
 		"-technique", "ls", "-faults", "mislabel@0.2",
-		"-epochs", "4", "-save", out,
+		"-epochs", "4", "-workers", "2", "-save", out,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tdfm/internal/loss"
+	"tdfm/internal/parallel"
 	"tdfm/internal/tensor"
 	"tdfm/internal/xrand"
 )
@@ -42,24 +43,59 @@ func (e *Ensemble) ModelsAtInference() int { return len(e.Members) }
 // Train fits every member with cross entropy. The cfg.Arch field is ignored
 // (members carry their own architectures); epochs/LR overrides apply to all
 // members.
+//
+// Members train concurrently when the shared worker budget
+// (internal/parallel) has headroom, and serially otherwise — nested under
+// an already-parallel experiment grid the members simply run inline. The
+// result is identical either way: every member's RNG streams are split
+// from the parent up front in member order (Split consumes the parent
+// stream, so the split order, not the training schedule, must be fixed),
+// and each member trains in isolation on the shared read-only dataset.
 func (e *Ensemble) Train(cfg Config, ts TrainSet, rng *xrand.RNG) (Classifier, error) {
 	if len(e.Members) == 0 {
 		return nil, fmt.Errorf("core: ensemble has no members")
 	}
-	members := make([]Classifier, 0, len(e.Members))
-	for _, arch := range e.Members {
-		mcfg := cfg
-		mcfg.Arch = arch
-		// Each member uses its architecture's own default epochs/LR unless
-		// explicitly overridden.
-		c, bm, err := mcfg.buildFor(ts.Data, rng.Split("init-"+arch))
-		if err != nil {
-			return nil, fmt.Errorf("core: ensemble member %s: %w", arch, err)
+	type memberJob struct {
+		arch              string
+		initRNG, trainRNG *xrand.RNG
+		clf               Classifier
+		err               error
+	}
+	jobs := make([]*memberJob, len(e.Members))
+	for i, arch := range e.Members {
+		jobs[i] = &memberJob{
+			arch:     arch,
+			initRNG:  rng.Split("init-" + arch),
+			trainRNG: rng.Split("train-" + arch),
 		}
-		if err := trainLoop(bm.net, ts.Data, loss.CrossEntropy{}, mcfg, rng.Split("train-"+arch), nil, nil); err != nil {
-			return nil, fmt.Errorf("core: ensemble member %s: %w", arch, err)
+	}
+	tasks := make([]func(), len(jobs))
+	for i := range jobs {
+		job := jobs[i]
+		tasks[i] = func() {
+			mcfg := cfg
+			mcfg.Arch = job.arch
+			// Each member uses its architecture's own default epochs/LR
+			// unless explicitly overridden.
+			c, bm, err := mcfg.buildFor(ts.Data, job.initRNG)
+			if err != nil {
+				job.err = fmt.Errorf("core: ensemble member %s: %w", job.arch, err)
+				return
+			}
+			if err := trainLoop(bm.net, ts.Data, loss.CrossEntropy{}, mcfg, job.trainRNG, nil, nil); err != nil {
+				job.err = fmt.Errorf("core: ensemble member %s: %w", job.arch, err)
+				return
+			}
+			job.clf = c
 		}
-		members = append(members, c)
+	}
+	parallel.Run(tasks...)
+	members := make([]Classifier, 0, len(jobs))
+	for _, job := range jobs {
+		if job.err != nil {
+			return nil, job.err
+		}
+		members = append(members, job.clf)
 	}
 	return &VotingClassifier{Members: members, Classes: ts.Data.NumClasses}, nil
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"tdfm/internal/parallel"
+	"tdfm/internal/xrand"
+)
+
+// smallEnsemble keeps concurrency tests fast: three light members.
+func smallEnsemble() *Ensemble {
+	return NewEnsemble([]string{"convnet", "vgg11", "resnet18"})
+}
+
+// TestEnsembleConcurrentMatchesSerial is the determinism contract for
+// concurrent member training: the same seed must produce bit-identical
+// predictions whether members train serially (budget 1) or concurrently
+// (budget 8), because RNG streams are split before any fan-out.
+func TestEnsembleConcurrentMatchesSerial(t *testing.T) {
+	train, test := tinySet(t)
+	cfg := fastConfig()
+	cfg.Epochs = 3
+
+	parallel.SetBudget(1)
+	serialClf, err := smallEnsemble().Train(cfg, TrainSet{Data: train}, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPred := serialClf.Predict(test.X)
+
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(0)
+	parClf, err := smallEnsemble().Train(cfg, TrainSet{Data: train}, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPred := parClf.Predict(test.X)
+
+	for i := range serialPred {
+		if serialPred[i] != parPred[i] {
+			t.Fatalf("prediction %d differs: serial %d vs concurrent %d", i, serialPred[i], parPred[i])
+		}
+	}
+}
+
+// TestEnsembleTrainConcurrently exercises the concurrent path under the
+// race detector: many goroutines share the budget while two ensembles
+// train at once against the same read-only dataset.
+func TestEnsembleTrainConcurrently(t *testing.T) {
+	train, test := tinySet(t)
+	cfg := fastConfig()
+	cfg.Epochs = 2
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(0)
+
+	type result struct {
+		pred []int
+		err  error
+	}
+	results := make([]result, 2)
+	done := make(chan int, len(results))
+	for i := range results {
+		go func(i int) {
+			clf, err := smallEnsemble().Train(cfg, TrainSet{Data: train}, xrand.New(5))
+			if err == nil {
+				results[i] = result{pred: clf.Predict(test.X)}
+			} else {
+				results[i] = result{err: err}
+			}
+			done <- i
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("concurrent ensemble %d: %v", i, r.err)
+		}
+	}
+	// Same seed, so both concurrent trainings must agree exactly.
+	for i := range results[0].pred {
+		if results[0].pred[i] != results[1].pred[i] {
+			t.Fatalf("concurrent ensembles diverged at prediction %d", i)
+		}
+	}
+}

@@ -49,6 +49,13 @@ func (r *Runner) RunPanel(ds, arch string, ft faultinject.Type, rates []float64)
 		Rates: rates,
 		Cells: make(map[string]map[float64]Cell),
 	}
+	var cells []cellReq
+	for _, tech := range p.Techniques() {
+		for _, rate := range rates {
+			cells = append(cells, r.measureCells(ds, tech, arch, []FaultSpec{{Type: ft, Rate: rate}})...)
+		}
+	}
+	r.warm(cells)
 	for _, tech := range p.Techniques() {
 		p.Cells[tech] = make(map[float64]Cell)
 		for _, rate := range rates {
@@ -143,6 +150,17 @@ func (r *Runner) Table4(archs, datasets []string) (*Table4Result, error) {
 		Techniques: TechniquesFor(faultinject.Mislabel),
 		Acc:        make(map[string]map[string]map[string]metrics.Summary),
 	}
+	var cells []cellReq
+	for _, arch := range archs {
+		for _, ds := range datasets {
+			for _, tech := range res.Techniques {
+				for rep := 0; rep < r.Reps; rep++ {
+					cells = append(cells, cellReq{ds: ds, tech: tech, arch: arch, rep: rep})
+				}
+			}
+		}
+	}
+	r.warm(cells)
 	for _, arch := range archs {
 		res.Acc[arch] = make(map[string]map[string]metrics.Summary)
 		for _, ds := range datasets {
@@ -177,6 +195,11 @@ func (r *Runner) Motivating() (*MotivatingResult, error) {
 		return nil, err
 	}
 	out := &MotivatingResult{GoldenAcc: golden, TechniqueAD: make(map[string]metrics.Summary)}
+	var cells []cellReq
+	for _, tech := range TechniquesFor(faultinject.Mislabel) {
+		cells = append(cells, r.measureCells(ds, tech, arch, specs)...)
+	}
+	r.warm(cells)
 	for _, tech := range TechniquesFor(faultinject.Mislabel) {
 		cell, err := r.MeasureAD(ds, tech, arch, specs)
 		if err != nil {
@@ -213,6 +236,12 @@ func (r *Runner) CombinedFaults(ds, arch string, rate float64) ([]CombinedCompar
 		{[]FaultSpec{mk(faultinject.Mislabel), mk(faultinject.Repeat)}, []FaultSpec{mk(faultinject.Mislabel)}},
 		{[]FaultSpec{mk(faultinject.Remove), mk(faultinject.Repeat)}, []FaultSpec{mk(faultinject.Repeat)}},
 	}
+	var cells []cellReq
+	for _, p := range pairs {
+		cells = append(cells, r.measureCells(ds, "base", arch, p.combined)...)
+		cells = append(cells, r.measureCells(ds, "base", arch, p.single)...)
+	}
+	r.warm(cells)
 	out := make([]CombinedComparison, 0, len(pairs))
 	for _, p := range pairs {
 		comb, err := r.MeasureAD(ds, "base", arch, p.combined)
@@ -249,16 +278,74 @@ type OverheadRow struct {
 // Overhead measures training and inference overheads of each technique on
 // the given dataset/model with the given fault injection. Because overheads
 // need uncached wall-clock timings, the measurement runs on an internal
-// fresh runner derived from r's configuration (same scale/seed/reps, empty
-// memo), so Overhead is safe to call after other experiments have warmed
-// r's cache.
+// fresh runner derived from r's configuration (same scale/seed/reps/workers,
+// empty memo), so Overhead is safe to call after other experiments have
+// warmed r's cache. With Workers > 1 the per-row timings include pool
+// contention; the TrainOverhead ratio is against a baseline measured under
+// the same contention.
 func (r *Runner) Overhead(ds, arch string, specs []FaultSpec) ([]OverheadRow, error) {
+	return overheadGrid(r.freshOverheadRunner(), ds, arch, specs)
+}
+
+// SpeedupReport is E11's wall-clock comparison between the serial
+// (Workers=1) and parallel schedules of the same overhead grid.
+type SpeedupReport struct {
+	Workers  int
+	Serial   time.Duration
+	Parallel time.Duration
+}
+
+// Ratio is the serial/parallel wall-clock speedup.
+func (s SpeedupReport) Ratio() float64 {
+	if s.Parallel <= 0 {
+		return 0
+	}
+	return float64(s.Serial) / float64(s.Parallel)
+}
+
+// OverheadWithSpeedup runs the overhead grid on the runner's worker pool
+// and, when more than one worker is configured, re-runs the identical grid
+// serially to report the end-to-end wall-clock speedup. The returned rows
+// come from the serial schedule when both run (contention-free per-row
+// timings); the report is nil when Workers <= 1.
+func (r *Runner) OverheadWithSpeedup(ds, arch string, specs []FaultSpec) ([]OverheadRow, *SpeedupReport, error) {
+	par := r.freshOverheadRunner()
+	start := time.Now()
+	rows, err := overheadGrid(par, ds, arch, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	parDur := time.Since(start)
+	if par.workers() <= 1 {
+		return rows, nil, nil
+	}
+	serial := r.freshOverheadRunner()
+	serial.Workers = 1
+	start = time.Now()
+	rows, err = overheadGrid(serial, ds, arch, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	serialDur := time.Since(start)
+	return rows, &SpeedupReport{Workers: par.workers(), Serial: serialDur, Parallel: parDur}, nil
+}
+
+// freshOverheadRunner clones r's configuration with an empty memo cache.
+func (r *Runner) freshOverheadRunner() *Runner {
 	fresh := NewRunner(r.Scale, r.Seed, r.Reps)
 	fresh.CleanFrac = r.CleanFrac
 	fresh.EpochOverride = r.EpochOverride
 	fresh.WidthMult = r.WidthMult
-	r = fresh
+	fresh.Workers = r.Workers
+	return fresh
+}
 
+func overheadGrid(r *Runner, ds, arch string, specs []FaultSpec) ([]OverheadRow, error) {
+	var cells []cellReq
+	for _, tech := range TechniquesFor(faultinject.Mislabel) {
+		cells = append(cells, r.measureCells(ds, tech, arch, specs)...)
+	}
+	r.warm(cells)
 	baseCell, err := r.MeasureAD(ds, "base", arch, specs)
 	if err != nil {
 		return nil, err

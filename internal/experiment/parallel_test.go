@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tdfm/internal/faultinject"
+	"tdfm/internal/parallel"
+)
+
+// withPoolBudget raises the shared worker budget so the concurrent paths
+// are exercised even on single-core runners, restoring the default after.
+func withPoolBudget(t *testing.T, n int, body func()) {
+	t.Helper()
+	parallel.SetBudget(n)
+	defer parallel.SetBudget(0)
+	body()
+}
+
+// runGrid runs the regression grid used by the determinism tests: one
+// fault type, one rate, two repetitions, every applicable technique.
+func runGrid(t *testing.T, workers int) (*Panel, string) {
+	t.Helper()
+	r := fastRunner(2)
+	r.EpochOverride = 2
+	r.Workers = workers
+	p, err := r.RunPanel("pneumonialike", "convnet", faultinject.Remove, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := &Figure3Result{FaultType: faultinject.Remove, Panels: []*Panel{p}}
+	var csv strings.Builder
+	if err := fig.Table().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return p, csv.String()
+}
+
+// TestWorkersDeterminism is the PR's central regression: the same grid run
+// serially (Workers=1, the original schedule) and on a four-worker pool
+// must produce identical accuracy and AD summaries for every cell, and the
+// exported CSV must be byte-identical.
+func TestWorkersDeterminism(t *testing.T) {
+	withPoolBudget(t, 8, func() {
+		serial, serialCSV := runGrid(t, 1)
+		par, parCSV := runGrid(t, 4)
+
+		for _, tech := range serial.Techniques() {
+			for _, rate := range serial.Rates {
+				s, p := serial.Cells[tech][rate], par.Cells[tech][rate]
+				if s.AD != p.AD {
+					t.Errorf("%s@%v: AD differs: serial %+v vs parallel %+v", tech, rate, s.AD, p.AD)
+				}
+				if s.Accuracy != p.Accuracy {
+					t.Errorf("%s@%v: accuracy differs: serial %+v vs parallel %+v", tech, rate, s.Accuracy, p.Accuracy)
+				}
+			}
+		}
+		if serialCSV != parCSV {
+			t.Fatalf("CSV export differs between Workers=1 and Workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serialCSV, parCSV)
+		}
+	})
+}
+
+// TestGoldenSingleFlight hammers one uncached cell from many goroutines:
+// the single-flight cache must train it exactly once and give every caller
+// the same predictions.
+func TestGoldenSingleFlight(t *testing.T) {
+	withPoolBudget(t, 8, func() {
+		r := fastRunner(1)
+		r.EpochOverride = 2
+		const callers = 8
+		preds := make([][]int, callers)
+		errs := make([]error, callers)
+		var wg sync.WaitGroup
+		wg.Add(callers)
+		for i := 0; i < callers; i++ {
+			go func(i int) {
+				defer wg.Done()
+				preds[i], errs[i] = r.Golden("pneumonialike", "convnet", 0)
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < callers; i++ {
+			if errs[i] != nil {
+				t.Fatalf("caller %d: %v", i, errs[i])
+			}
+			for j := range preds[i] {
+				if preds[i][j] != preds[0][j] {
+					t.Fatalf("caller %d saw different predictions", i)
+				}
+			}
+		}
+		if got := r.CacheSize(); got != 1 {
+			t.Fatalf("cache size %d after single-flight hammering, want 1", got)
+		}
+	})
+}
+
+// TestDatasetSingleFlight does the same for the dataset memo cache: all
+// concurrent callers must get the one generated pair (pointer-identical).
+func TestDatasetSingleFlight(t *testing.T) {
+	withPoolBudget(t, 8, func() {
+		r := fastRunner(1)
+		const callers = 8
+		type pair struct{ train, test interface{} }
+		got := make([]pair, callers)
+		errs := make([]error, callers)
+		var wg sync.WaitGroup
+		wg.Add(callers)
+		for i := 0; i < callers; i++ {
+			go func(i int) {
+				defer wg.Done()
+				tr, te, err := r.Dataset("pneumonialike")
+				got[i], errs[i] = pair{tr, te}, err
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < callers; i++ {
+			if errs[i] != nil {
+				t.Fatalf("caller %d: %v", i, errs[i])
+			}
+			if got[i] != got[0] {
+				t.Fatalf("caller %d got a distinct dataset instance", i)
+			}
+		}
+	})
+}
+
+// TestFailedCellMemoized checks that errors are cached like successes: a
+// cell with a bogus architecture fails every time without retraining, and
+// never counts toward the (successful) cache size.
+func TestFailedCellMemoized(t *testing.T) {
+	r := fastRunner(1)
+	if _, _, err := r.Predictions("pneumonialike", "base", "no-such-arch", nil, 0); err == nil {
+		t.Fatal("bogus architecture accepted")
+	}
+	if _, _, err := r.Predictions("pneumonialike", "base", "no-such-arch", nil, 0); err == nil {
+		t.Fatal("cached failure lost its error")
+	}
+	if got := r.CacheSize(); got != 0 {
+		t.Fatalf("cache size %d, want 0 (failures excluded)", got)
+	}
+}
+
+// TestRunnerWorkersResolution pins the Workers field semantics: zero means
+// one worker per CPU, anything below one clamps to serial.
+func TestRunnerWorkersResolution(t *testing.T) {
+	r := fastRunner(1)
+	if got := r.workers(); got < 1 {
+		t.Fatalf("default workers %d", got)
+	}
+	r.Workers = 1
+	if got := r.workers(); got != 1 {
+		t.Fatalf("Workers=1 resolved to %d", got)
+	}
+	r.Workers = -3
+	if got := r.workers(); got != 1 {
+		t.Fatalf("Workers=-3 resolved to %d, want 1", got)
+	}
+	r.Workers = 6
+	if got := r.workers(); got != 6 {
+		t.Fatalf("Workers=6 resolved to %d", got)
+	}
+}
+
+// TestOverheadSpeedupReport checks the E11 report plumbing: with a
+// multi-worker runner both schedules run and the report carries positive
+// wall-clock times; with a serial runner the report is nil.
+func TestOverheadSpeedupReport(t *testing.T) {
+	withPoolBudget(t, 8, func() {
+		r := fastRunner(1)
+		r.EpochOverride = 2
+		r.Workers = 4
+		specs := []FaultSpec{{Type: faultinject.Mislabel, Rate: 0.2}}
+		rows, rep, err := r.OverheadWithSpeedup("pneumonialike", "convnet", specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 6 {
+			t.Fatalf("%d overhead rows", len(rows))
+		}
+		if rep == nil {
+			t.Fatal("speedup report missing at Workers=4")
+		}
+		if rep.Workers != 4 || rep.Serial <= 0 || rep.Parallel <= 0 {
+			t.Fatalf("bad report %+v", rep)
+		}
+		if rep.Ratio() <= 0 {
+			t.Fatalf("ratio %v", rep.Ratio())
+		}
+		var b strings.Builder
+		RenderSpeedup(&b, rep)
+		if !strings.Contains(b.String(), "parallel speedup") {
+			t.Fatalf("render output %q", b.String())
+		}
+		RenderSpeedup(&b, nil) // must not panic
+
+		r.Workers = 1
+		_, rep, err = r.OverheadWithSpeedup("pneumonialike", "convnet", specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep != nil {
+			t.Fatalf("serial runner produced a speedup report: %+v", rep)
+		}
+	})
+}

@@ -187,6 +187,16 @@ func RenderOverhead(w io.Writer, rows []OverheadRow) {
 	t.Render(w)
 }
 
+// RenderSpeedup writes the E11 parallel-speedup comparison. A nil report
+// (serial run) renders nothing.
+func RenderSpeedup(w io.Writer, s *SpeedupReport) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "parallel speedup (E11): %d workers finished the grid in %s vs %s serial (%.2fx)\n",
+		s.Workers, s.Parallel.Round(1e6), s.Serial.Round(1e6), s.Ratio())
+}
+
 // RenderTable1 writes the survey selection (Table I).
 func RenderTable1(w io.Writer) error {
 	t := &report.Table{

@@ -7,15 +7,25 @@
 // The Runner memoizes test-set predictions by configuration so that work
 // shared between the paper's tables and figures (golden models per
 // (dataset, model, repetition); ensemble models per (dataset, fault spec,
-// repetition)) is computed once per process.
+// repetition)) is computed once per process. Both memo caches are
+// single-flight: concurrent cells needing the same golden model block on
+// the one in-flight training instead of duplicating it.
+//
+// Independent cells — distinct (dataset, model, technique, fault spec,
+// repetition) tuples — execute on a bounded worker pool sized by the
+// Workers field. Every cell derives its randomness from the root seed by
+// cell key, never by call order, so any schedule (including Workers=1, the
+// original serial behaviour) produces byte-identical results.
 package experiment
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdfm/internal/core"
@@ -23,6 +33,7 @@ import (
 	"tdfm/internal/datagen"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/metrics"
+	"tdfm/internal/parallel"
 	"tdfm/internal/xrand"
 )
 
@@ -45,19 +56,32 @@ type Runner struct {
 	EpochOverride int
 	// WidthMult, when > 0, scales every model's channel widths.
 	WidthMult float64
+	// Workers bounds how many experiment cells train concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the original serial schedule.
+	// Results are byte-identical at every setting because per-cell RNG is
+	// keyed, not ordered. While the pool runs, its workers reserve slots
+	// from the shared parallel budget so nested fan-out (ensemble members,
+	// tensor ops) cannot oversubscribe the machine.
+	Workers int
 
 	mu       sync.Mutex
-	datasets map[string]dsPair
-	preds    map[string]predEntry
+	datasets map[string]*dsEntry
+	preds    map[string]*predEntry
 }
 
-type dsPair struct {
+// dsEntry is a single-flight memo slot for a generated dataset pair.
+type dsEntry struct {
+	done        chan struct{}
 	train, test *data.Dataset
+	err         error
 }
 
+// predEntry is a single-flight memo slot for one trained cell.
 type predEntry struct {
+	done     chan struct{}
 	pred     []int
 	trainDur time.Duration
+	err      error
 }
 
 // NewRunner returns a runner with the study defaults.
@@ -67,9 +91,20 @@ func NewRunner(scale datagen.Scale, seed uint64, reps int) *Runner {
 		Seed:      seed,
 		Reps:      reps,
 		CleanFrac: 0.1,
-		datasets:  make(map[string]dsPair),
-		preds:     make(map[string]predEntry),
+		datasets:  make(map[string]*dsEntry),
+		preds:     make(map[string]*predEntry),
 	}
+}
+
+// workers resolves the Workers field to an effective pool size.
+func (r *Runner) workers() int {
+	if r.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if r.Workers < 1 {
+		return 1
+	}
+	return r.Workers
 }
 
 // DatasetNames lists the three study datasets in paper order
@@ -77,24 +112,28 @@ func NewRunner(scale datagen.Scale, seed uint64, reps int) *Runner {
 func DatasetNames() []string { return []string{"cifar10like", "gtsrblike", "pneumonialike"} }
 
 // Dataset returns the generated train/test pair for a study dataset,
-// memoized per runner.
+// memoized per runner. Concurrent calls for the same dataset block on one
+// generation (single flight).
 func (r *Runner) Dataset(name string) (train, test *data.Dataset, err error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if p, ok := r.datasets[name]; ok {
-		return p.train, p.test, nil
+	if e, ok := r.datasets[name]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.train, e.test, e.err
 	}
+	e := &dsEntry{done: make(chan struct{})}
+	r.datasets[name] = e
+	r.mu.Unlock()
+	defer close(e.done)
+
 	cfgs := datagen.Presets(r.Scale, r.Seed)
 	cfg, ok := cfgs[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("experiment: unknown dataset %q (have %v)", name, DatasetNames())
+		e.err = fmt.Errorf("experiment: unknown dataset %q (have %v)", name, DatasetNames())
+		return nil, nil, e.err
 	}
-	train, test, err = datagen.Generate(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	r.datasets[name] = dsPair{train: train, test: test}
-	return train, test, nil
+	e.train, e.test, e.err = datagen.Generate(cfg)
+	return e.train, e.test, e.err
 }
 
 // FaultSpec mirrors faultinject.Spec for experiment definitions.
@@ -122,23 +161,36 @@ func (r *Runner) cellKey(ds, tech, arch string, specs []FaultSpec, rep int) stri
 	return fmt.Sprintf("%s|%s|%s|%s|rep%d|scale%d|seed%d|ep%d", ds, tech, arch, specsKey(specs), rep, r.Scale, r.Seed, r.EpochOverride)
 }
 
-// cellRNG derives the deterministic random stream of a cell.
+// cellRNG derives the deterministic random stream of a cell. The stream
+// depends only on (root seed, cell key): no matter which worker trains the
+// cell, or in what order, the cell sees identical randomness.
 func (r *Runner) cellRNG(key string) *xrand.RNG {
 	return xrand.New(r.Seed).Split(key)
 }
 
 // Predictions trains (or recalls) the given technique/architecture on ds
 // with the given faults injected, and returns test-set predictions plus the
-// training duration of the original (uncached) run.
+// training duration of the original (uncached) run. Concurrent calls for
+// the same cell block on the one in-flight training (single flight);
+// failures are memoized alongside successes so a failing cell trains once.
 func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
 	key := r.cellKey(ds, tech, arch, specs, rep)
 	r.mu.Lock()
 	if e, ok := r.preds[key]; ok {
 		r.mu.Unlock()
-		return e.pred, e.trainDur, nil
+		<-e.done
+		return e.pred, e.trainDur, e.err
 	}
+	e := &predEntry{done: make(chan struct{})}
+	r.preds[key] = e
 	r.mu.Unlock()
+	defer close(e.done)
+	e.pred, e.trainDur, e.err = r.trainCell(key, ds, tech, arch, specs, rep)
+	return e.pred, e.trainDur, e.err
+}
 
+// trainCell performs the uncached work of Predictions.
+func (r *Runner) trainCell(key, ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
 	train, test, err := r.Dataset(ds)
 	if err != nil {
 		return nil, 0, err
@@ -175,13 +227,97 @@ func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) 
 	dur := time.Since(start)
 	pred := clf.Predict(test.X)
 
-	r.mu.Lock()
-	r.preds[key] = predEntry{pred: pred, trainDur: dur}
-	r.mu.Unlock()
 	if r.Progress != nil {
+		// Serialize concurrent cells' progress lines through the cache mutex.
+		r.mu.Lock()
 		fmt.Fprintf(r.Progress, "trained %-60s %8s\n", key, dur.Round(time.Millisecond))
+		r.mu.Unlock()
 	}
 	return pred, dur, nil
+}
+
+// cellReq names one cell for warm-up scheduling.
+type cellReq struct {
+	ds, tech, arch string
+	specs          []FaultSpec
+	rep            int
+}
+
+// goldenReq is the golden-model cell backing a measurement cell.
+func goldenReq(ds, arch string, rep int) cellReq {
+	return cellReq{ds: ds, tech: "base", arch: arch, rep: rep}
+}
+
+// warm trains the given cells concurrently on the runner's worker pool so
+// the serial measurement loops that follow hit the memo cache. Duplicate
+// and already-cached cells are skipped; errors stay in the cache for the
+// measurement loop to report deterministically. With Workers <= 1 (or
+// fewer than two cells to train) warm is a no-op and the measurement loop
+// trains serially, reproducing the original schedule exactly.
+func (r *Runner) warm(cells []cellReq) {
+	w := r.workers()
+	if w <= 1 || len(cells) < 2 {
+		return
+	}
+	seen := make(map[string]bool, len(cells))
+	uniq := cells[:0:0]
+	r.mu.Lock()
+	for _, c := range cells {
+		key := r.cellKey(c.ds, c.tech, c.arch, c.specs, c.rep)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, cached := r.preds[key]; cached {
+			continue
+		}
+		uniq = append(uniq, c)
+	}
+	r.mu.Unlock()
+	if len(uniq) < 2 {
+		return
+	}
+	if w > len(uniq) {
+		w = len(uniq)
+	}
+	// Reserve budget slots for the pool's extra workers so nested fan-out
+	// (ensemble members, tensor kernels) degrades to inline execution
+	// instead of oversubscribing; Workers stays authoritative for cell
+	// concurrency even when the budget is spent.
+	granted := parallel.TryAcquire(w - 1)
+	defer parallel.Release(granted)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	work := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(uniq) {
+				return
+			}
+			c := uniq[i]
+			// Errors are memoized; the serial pass re-reports them.
+			_, _, _ = r.Predictions(c.ds, c.tech, c.arch, c.specs, c.rep)
+		}
+	}
+	wg.Add(w)
+	for i := 1; i < w; i++ {
+		go work()
+	}
+	work()
+	wg.Wait()
+}
+
+// measureCells lists every cell MeasureAD needs: the technique cell and
+// its golden counterpart for each repetition.
+func (r *Runner) measureCells(ds, tech, arch string, specs []FaultSpec) []cellReq {
+	cells := make([]cellReq, 0, 2*r.Reps)
+	for rep := 0; rep < r.Reps; rep++ {
+		cells = append(cells, goldenReq(ds, arch, rep))
+		cells = append(cells, cellReq{ds: ds, tech: tech, arch: arch, specs: specs, rep: rep})
+	}
+	return cells
 }
 
 // Golden returns the golden model's predictions: the baseline architecture
@@ -204,13 +340,16 @@ type Cell struct {
 }
 
 // MeasureAD runs the configuration for every repetition and summarizes the
-// AD and accuracy.
+// AD and accuracy. Repetitions train concurrently on the worker pool; the
+// summary loop then reads the memo cache in repetition order, so the
+// summarized series is identical to the serial schedule's.
 func (r *Runner) MeasureAD(ds, tech, arch string, specs []FaultSpec) (Cell, error) {
 	cell := Cell{Dataset: ds, Technique: tech, Arch: arch, Specs: specs}
 	_, test, err := r.Dataset(ds)
 	if err != nil {
 		return cell, err
 	}
+	r.warm(r.measureCells(ds, tech, arch, specs))
 	ads := make([]float64, 0, r.Reps)
 	accs := make([]float64, 0, r.Reps)
 	for rep := 0; rep < r.Reps; rep++ {
@@ -238,6 +377,11 @@ func (r *Runner) GoldenAccuracy(ds, tech, arch string) (metrics.Summary, error) 
 	if err != nil {
 		return metrics.Summary{}, err
 	}
+	cells := make([]cellReq, 0, r.Reps)
+	for rep := 0; rep < r.Reps; rep++ {
+		cells = append(cells, cellReq{ds: ds, tech: tech, arch: arch, rep: rep})
+	}
+	r.warm(cells)
 	accs := make([]float64, 0, r.Reps)
 	for rep := 0; rep < r.Reps; rep++ {
 		pred, _, err := r.Predictions(ds, tech, arch, nil, rep)
@@ -249,20 +393,38 @@ func (r *Runner) GoldenAccuracy(ds, tech, arch string) (metrics.Summary, error) 
 	return metrics.Summarize(accs), nil
 }
 
-// CacheSize returns the number of memoized prediction entries (diagnostic).
+// CacheSize returns the number of memoized successful prediction entries
+// (diagnostic). In-flight and failed cells are excluded.
 func (r *Runner) CacheSize() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.preds)
+	n := 0
+	for _, e := range r.preds {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
 }
 
-// CachedKeys returns the sorted cache keys (diagnostic, used in tests).
+// CachedKeys returns the sorted keys of completed successful cells
+// (diagnostic, used in tests).
 func (r *Runner) CachedKeys() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	keys := make([]string, 0, len(r.preds))
-	for k := range r.preds {
-		keys = append(keys, k)
+	for k, e := range r.preds {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				keys = append(keys, k)
+			}
+		default:
+		}
 	}
 	sort.Strings(keys)
 	return keys

@@ -5,9 +5,15 @@
 // blocks), parameter management, and weight serialization.
 //
 // Layers cache activations between Forward and Backward, so a layer (and any
-// network built from layers) is NOT safe for concurrent use. Training in
-// this repository is single-threaded per model; parallelism, when used,
-// is across independent models.
+// network built from layers) is NOT safe for concurrent use: one goroutine
+// drives a given model's train/predict loop at a time. Parallelism happens
+// at two other levels, both coordinated through the shared worker budget in
+// internal/parallel: across independent models (experiment grid cells and
+// ensemble members train concurrently), and inside individual tensor
+// operations (matrix products and im2col transforms shard rows across
+// workers; see tensor.SetParallelism). Both levels are result-invariant —
+// any worker count produces bit-identical numbers — so the layer contract
+// callers rely on is unchanged: same inputs, same weights, same outputs.
 package nn
 
 import (

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"testing"
+
+	"tdfm/internal/parallel"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// TestGradCheckConv2DParallel reruns the convolution gradient check with
+// intra-op tensor parallelism enabled: the analytic gradients must agree
+// with finite differences regardless of how the matrix products and
+// im2col transforms are sharded.
+func TestGradCheckConv2DParallel(t *testing.T) {
+	parallel.SetBudget(8)
+	tensor.SetParallelism(4)
+	defer func() {
+		tensor.SetParallelism(0)
+		parallel.SetBudget(0)
+	}()
+	rng := xrand.New(3)
+	l := NewConv2D("conv", 2, 3, 3, 1, 1, rng)
+	gradCheck(t, l, randInput(2, 2, 2, 5, 5), 1e-5)
+}
+
+// TestForwardBitIdenticalUnderParallelism trains nothing: it checks that a
+// small CNN's forward pass produces bit-identical outputs at 1 and 4
+// tensor workers, which is the substrate-level half of the experiment
+// engine's schedule-invariance contract.
+func TestForwardBitIdenticalUnderParallelism(t *testing.T) {
+	build := func() *Sequential {
+		rng := xrand.New(42)
+		return NewSequential(
+			NewConv2D("c1", 3, 4, 3, 1, 1, rng.Split("c1")),
+			NewReLU(),
+			NewConv2D("c2", 4, 6, 3, 2, 0, rng.Split("c2")),
+			NewReLU(),
+			NewFlatten(),
+			NewDense("fc", 6*5*5, 10, rng.Split("fc")),
+		)
+	}
+	x := randInput(9, 8, 3, 11, 11)
+
+	tensor.SetParallelism(1)
+	serial := build().Forward(x, false)
+
+	parallel.SetBudget(8)
+	tensor.SetParallelism(4)
+	defer func() {
+		tensor.SetParallelism(0)
+		parallel.SetBudget(0)
+	}()
+	par := build().Forward(x, false)
+
+	if !par.Equal(serial, 0) {
+		t.Fatal("forward pass differs between 1 and 4 tensor workers")
+	}
+}

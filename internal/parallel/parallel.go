@@ -1,0 +1,158 @@
+// Package parallel owns the process-wide worker budget shared by every
+// layer of the system that fans work out to goroutines: tensor kernels
+// shard matrix rows, core trains ensemble members concurrently, and the
+// experiment runner executes independent grid cells on a worker pool.
+//
+// The budget counts workers including the goroutine that initiates a
+// fan-out, so a budget of N never adds more than N-1 goroutines at once no
+// matter how the layers nest. Fan-out sites request extra workers with
+// TryAcquire, which never blocks: when the budget is exhausted (for
+// example, a matrix product inside an ensemble member inside an experiment
+// cell), the site simply runs its work inline on the calling goroutine.
+// Because every site always makes progress on its own goroutine, nesting
+// cannot deadlock; and because every sharding in this repository is
+// result-invariant (each output region is written by exactly one worker,
+// with the same per-element accumulation order as the serial loop), the
+// number of workers granted never changes a computed value — only
+// wall-clock time.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu     sync.Mutex
+	budget = runtime.GOMAXPROCS(0) // total workers, including callers
+	inUse  int                     // extra-worker slots currently granted
+)
+
+// SetBudget sets the total worker budget, including calling goroutines.
+// n <= 0 resets to runtime.GOMAXPROCS(0); n == 1 disables all fan-out.
+// Slots already granted are unaffected (the new budget applies as they are
+// released). Tests may raise the budget above GOMAXPROCS to force
+// concurrency on small machines.
+func SetBudget(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	budget = n
+	mu.Unlock()
+}
+
+// Budget returns the current total worker budget.
+func Budget() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return budget
+}
+
+// TryAcquire grants up to k extra-worker slots without blocking and
+// returns how many were granted (possibly 0). Every granted slot must be
+// returned with Release.
+func TryAcquire(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	free := budget - 1 - inUse
+	if free <= 0 {
+		return 0
+	}
+	if k > free {
+		k = free
+	}
+	inUse += k
+	return k
+}
+
+// Release returns k previously granted extra-worker slots.
+func Release(k int) {
+	if k <= 0 {
+		return
+	}
+	mu.Lock()
+	inUse -= k
+	if inUse < 0 {
+		inUse = 0
+	}
+	mu.Unlock()
+}
+
+// For runs fn over [0, n) split into at most maxShards contiguous ranges,
+// one range per worker. Extra workers beyond the caller are drawn from the
+// budget with TryAcquire, so For degrades to a single inline fn(0, n) call
+// when the budget is spent. fn must write only state owned by its [lo, hi)
+// range; under that contract the result is identical for any worker count.
+func For(n, maxShards int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := maxShards
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		fn(0, n)
+		return
+	}
+	granted := TryAcquire(w - 1)
+	if granted == 0 {
+		fn(0, n)
+		return
+	}
+	defer Release(granted)
+	w = granted + 1
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for s := 1; s < w; s++ {
+		lo, hi := s*n/w, (s+1)*n/w
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, n/w)
+	wg.Wait()
+}
+
+// Run executes the tasks, running up to Budget() of them concurrently.
+// The calling goroutine always participates; with no budget available the
+// tasks run serially inline, in order. Tasks must be independent.
+func Run(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	granted := TryAcquire(len(tasks) - 1)
+	if granted == 0 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	defer Release(granted)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(tasks) {
+				return
+			}
+			tasks[i]()
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(granted)
+	for s := 0; s < granted; s++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

@@ -46,34 +46,38 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	oh, ow := g.OutSize(h, w)
 	cols := New(n*oh*ow, c*g.KH*g.KW)
 	colStride := c * g.KH * g.KW
-	for img := 0; img < n; img++ {
-		base := img * c * h * w
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*g.StrideH - g.PadH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*g.StrideW - g.PadW
-				row := ((img*oh+oy)*ow + ox) * colStride
-				for ch := 0; ch < c; ch++ {
-					chBase := base + ch*h*w
-					for ky := 0; ky < g.KH; ky++ {
-						iy := iy0 + ky
-						dst := row + (ch*g.KH+ky)*g.KW
-						if iy < 0 || iy >= h {
-							continue // leave zeros
-						}
-						src := chBase + iy*w
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
-								continue
+	// Each image writes a disjoint block of rows, so image-sharding is
+	// bit-identical to the serial loop for any worker count.
+	pfor(n, n*oh*ow*colStride, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			base := img * c * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*g.StrideH - g.PadH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*g.StrideW - g.PadW
+					row := ((img*oh+oy)*ow + ox) * colStride
+					for ch := 0; ch < c; ch++ {
+						chBase := base + ch*h*w
+						for ky := 0; ky < g.KH; ky++ {
+							iy := iy0 + ky
+							dst := row + (ch*g.KH+ky)*g.KW
+							if iy < 0 || iy >= h {
+								continue // leave zeros
 							}
-							cols.data[dst+kx] = x.data[src+ix]
+							src := chBase + iy*w
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								cols.data[dst+kx] = x.data[src+ix]
+							}
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return cols
 }
 
@@ -88,34 +92,38 @@ func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
 		panic(fmt.Sprintf("tensor: Col2Im got %v, want [%d,%d]", cols.Shape(), n*oh*ow, colStride))
 	}
 	x := New(n, c, h, w)
-	for img := 0; img < n; img++ {
-		base := img * c * h * w
-		for oy := 0; oy < oh; oy++ {
-			iy0 := oy*g.StrideH - g.PadH
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*g.StrideW - g.PadW
-				row := ((img*oh+oy)*ow + ox) * colStride
-				for ch := 0; ch < c; ch++ {
-					chBase := base + ch*h*w
-					for ky := 0; ky < g.KH; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						src := row + (ch*g.KH+ky)*g.KW
-						dst := chBase + iy*w
-						for kx := 0; kx < g.KW; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
+	// Overlapping windows only accumulate within one image, so sharding by
+	// image keeps the scatter deterministic and race-free.
+	pfor(n, n*oh*ow*colStride, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			base := img * c * h * w
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*g.StrideH - g.PadH
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*g.StrideW - g.PadW
+					row := ((img*oh+oy)*ow + ox) * colStride
+					for ch := 0; ch < c; ch++ {
+						chBase := base + ch*h*w
+						for ky := 0; ky < g.KH; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
 								continue
 							}
-							x.data[dst+ix] += cols.data[src+kx]
+							src := row + (ch*g.KH+ky)*g.KW
+							dst := chBase + iy*w
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								x.data[dst+ix] += cols.data[src+kx]
+							}
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return x
 }
 
@@ -127,16 +135,18 @@ func RowsToNCHW(rows *Tensor, n, c, oh, ow int) *Tensor {
 		panic(fmt.Sprintf("tensor: RowsToNCHW got %v, want [%d,%d]", rows.Shape(), n*oh*ow, c))
 	}
 	out := New(n, c, oh, ow)
-	for img := 0; img < n; img++ {
-		for y := 0; y < oh; y++ {
-			for x := 0; x < ow; x++ {
-				row := ((img*oh+y)*ow + x) * c
-				for ch := 0; ch < c; ch++ {
-					out.data[((img*c+ch)*oh+y)*ow+x] = rows.data[row+ch]
+	pfor(n, n*c*oh*ow, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					row := ((img*oh+y)*ow + x) * c
+					for ch := 0; ch < c; ch++ {
+						out.data[((img*c+ch)*oh+y)*ow+x] = rows.data[row+ch]
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -148,14 +158,16 @@ func NCHWToRows(x *Tensor) *Tensor {
 	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	out := New(n*h*w, c)
-	for img := 0; img < n; img++ {
-		for ch := 0; ch < c; ch++ {
-			for y := 0; y < h; y++ {
-				for xx := 0; xx < w; xx++ {
-					out.data[((img*h+y)*w+xx)*c+ch] = x.data[((img*c+ch)*h+y)*w+xx]
+	pfor(n, n*c*h*w, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			for ch := 0; ch < c; ch++ {
+				for y := 0; y < h; y++ {
+					for xx := 0; xx < w; xx++ {
+						out.data[((img*h+y)*w+xx)*c+ch] = x.data[((img*c+ch)*h+y)*w+xx]
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }

@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tdfm/internal/parallel"
+)
+
+// maxPar caps how many workers a single tensor operation may fan out to.
+var maxPar atomic.Int64
+
+func init() { maxPar.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism caps the worker count of a single tensor operation (the
+// matrix products and the im2col/col2im transforms). n <= 0 resets to
+// runtime.GOMAXPROCS(0); 1 disables intra-op parallelism. Workers are
+// drawn from the shared parallel budget (see internal/parallel), so tensor
+// ops nested under a higher-level fan-out — ensemble members, experiment
+// cells — degrade to the serial loop instead of oversubscribing the
+// machine. Results are bit-identical at every setting: shards own disjoint
+// output regions and preserve the serial per-element accumulation order.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxPar.Store(int64(n))
+}
+
+// Parallelism returns the current per-op worker cap.
+func Parallelism() int { return int(maxPar.Load()) }
+
+// minParOps is the approximate number of inner-loop operations below which
+// an operation always runs serially: goroutine startup costs more than the
+// arithmetic saved.
+const minParOps = 1 << 15
+
+// pfor shards [0, n) across workers when the operation performs enough
+// work to amortize fan-out, and runs fn(0, n) inline otherwise.
+func pfor(n int, ops int, fn func(lo, hi int)) {
+	w := Parallelism()
+	if w < 2 || ops < minParOps {
+		fn(0, n)
+		return
+	}
+	parallel.For(n, w, fn)
+}

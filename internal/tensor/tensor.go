@@ -358,20 +358,24 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 	out := New(m, n)
 	// i-k-j loop order keeps the innermost accesses sequential in both the
 	// output row and the right operand row, which matters on tiny caches.
-	for i := 0; i < m; i++ {
-		ti := t.data[i*k : (i+1)*k]
-		oi := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			a := ti[p]
-			if a == 0 {
-				continue
-			}
-			up := u.data[p*n : (p+1)*n]
-			for j, b := range up {
-				oi[j] += a * b
+	// Each worker owns a contiguous block of output rows, so any worker
+	// count reproduces the serial result bit for bit.
+	pfor(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ti := t.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				a := ti[p]
+				if a == 0 {
+					continue
+				}
+				up := u.data[p*n : (p+1)*n]
+				for j, b := range up {
+					oi[j] += a * b
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -386,19 +390,25 @@ func (t *Tensor) MatMulTransA(u *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v × %v", t.shape, u.shape))
 	}
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		tp := t.data[p*m : (p+1)*m]
-		up := u.data[p*n : (p+1)*n]
-		for i, a := range tp {
-			if a == 0 {
-				continue
-			}
-			oi := out.data[i*n : (i+1)*n]
-			for j, b := range up {
-				oi[j] += a * b
+	// The p-outer loop accumulates into every output row, so sharding is
+	// over output columns: each worker applies the full p loop to its own
+	// column window, preserving the serial ascending-p accumulation order
+	// per element (bit-identical for any worker count).
+	pfor(n, k*m*n, func(jlo, jhi int) {
+		for p := 0; p < k; p++ {
+			tp := t.data[p*m : (p+1)*m]
+			up := u.data[p*n+jlo : p*n+jhi]
+			for i, a := range tp {
+				if a == 0 {
+					continue
+				}
+				oi := out.data[i*n+jlo : i*n+jhi]
+				for j, b := range up {
+					oi[j] += a * b
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -413,18 +423,20 @@ func (t *Tensor) MatMulTransB(u *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %v", t.shape, u.shape))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ti := t.data[i*k : (i+1)*k]
-		oi := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			uj := u.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, a := range ti {
-				s += a * uj[p]
+	pfor(m, m*k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ti := t.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				uj := u.data[j*k : (j+1)*k]
+				s := 0.0
+				for p, a := range ti {
+					s += a * uj[p]
+				}
+				oi[j] = s
 			}
-			oi[j] = s
 		}
-	}
+	})
 	return out
 }
 
