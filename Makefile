@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race bench bench-parallel repro examples vet fmt clean
+.PHONY: build test test-race bench bench-parallel repro examples vet vet-docs fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -11,11 +11,20 @@ build:
 vet:
 	go vet ./...
 
+# Documentation gate: exported identifiers in the observability-critical
+# packages must carry godoc comments (see cmd/vetdocs).
+vet-docs:
+	go run ./cmd/vetdocs internal/obs internal/parallel internal/experiment
+
 fmt:
 	gofmt -w .
 
-test:
+# Default quality gate: doc coverage, the full unit/integration suite, and
+# a race-detector pass over the new obs subsystem (journal appends and
+# sinks are exercised concurrently by pool workers).
+test: vet-docs
 	go test ./...
+	go test -race ./internal/obs/...
 
 # Race-detector pass over the whole module (quality gate, DESIGN.md §6).
 test-race:

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	tdfmbench -exp <experiment> [-scale tiny|small|medium] [-reps N]
-//	          [-seed S] [-workers W] [-csv out.csv] [-progress]
+//	          [-seed S] [-epochs E] [-workers W] [-csv out.csv] [-progress]
+//	          [-artifacts dir] [-resume] [-pprof cpu.out] [-trace trace.out]
 //
 // Experiments: table1 table2 table3 table4 motivating fig3-mislabel
 // fig3-removal fig4-mislabel fig4-repetition combined overhead all.
@@ -12,6 +13,11 @@
 // The default scale is tiny (seconds to minutes per experiment on one CPU
 // core); small and medium trade time for fidelity. Results are printed as
 // ASCII tables/bar charts; -csv additionally writes the raw series.
+//
+// With -artifacts the run keeps a crash-safe journal: every completed
+// cell is recorded durably, and a killed run restarted with -resume skips
+// the recorded cells and produces byte-identical output. -pprof and
+// -trace write a CPU profile and a runtime execution trace.
 package main
 
 import (
@@ -19,11 +25,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"time"
 
 	"tdfm/internal/datagen"
 	"tdfm/internal/experiment"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/models"
+	"tdfm/internal/obs"
 	"tdfm/internal/parallel"
 	"tdfm/internal/report"
 )
@@ -38,13 +48,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tdfmbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment to run (table1|table2|table3|table4|motivating|fig3-mislabel|fig3-removal|fig4-mislabel|fig4-repetition|combined|overhead|ablate-ens|ablate-ls|ablate-lc|ablate-kd|reverse-ad|all)")
-		scaleStr = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
-		reps     = fs.Int("reps", 3, "repetitions per configuration (paper: 20)")
-		seed     = fs.Uint64("seed", 1, "root random seed")
-		csvPath  = fs.String("csv", "", "write raw experiment data as CSV to this path")
-		progress = fs.Bool("progress", false, "print one line per trained model")
-		workersN = fs.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		exp       = fs.String("exp", "all", "experiment to run (table1|table2|table3|table4|motivating|fig3-mislabel|fig3-removal|fig4-mislabel|fig4-repetition|combined|overhead|ablate-ens|ablate-ls|ablate-lc|ablate-kd|reverse-ad|all)")
+		scaleStr  = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
+		reps      = fs.Int("reps", 3, "repetitions per configuration (paper: 20)")
+		epochs    = fs.Int("epochs", 0, "override every architecture's training epochs (0 = per-architecture defaults); part of the journal cell key")
+		seed      = fs.Uint64("seed", 1, "root random seed")
+		csvPath   = fs.String("csv", "", "write raw experiment data as CSV to this path")
+		progress  = fs.Bool("progress", false, "print one line per trained model")
+		workersN  = fs.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		artifacts = fs.String("artifacts", "", "directory for the crash-safe run journal and per-cell prediction checkpoints")
+		resume    = fs.Bool("resume", false, "skip cells already recorded in the -artifacts journal (requires -artifacts)")
+		pprofPath = fs.String("pprof", "", "write a CPU profile to this path")
+		tracePath = fs.String("trace", "", "write a runtime execution trace to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,11 +72,65 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *resume && *artifacts == "" {
+		return fmt.Errorf("-resume requires -artifacts")
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *pprofPath, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *tracePath, err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("starting execution trace: %w", err)
+		}
+		defer trace.Stop()
+	}
 	parallel.SetBudget(workers)
 	r := experiment.NewRunner(scale, *seed, *reps)
 	r.Workers = workers
+	r.EpochOverride = *epochs
+	// Journal warnings must reach the operator even without -progress;
+	// the progress sink (when enabled) additionally renders the periodic
+	// status line with ETA and pool occupancy.
+	sinks := obs.Sinks{obs.SinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindJournalError {
+			fmt.Fprintf(os.Stderr, "tdfmbench: journal warning: %v\n", e.Err)
+		}
+	})}
 	if *progress {
 		r.Progress = os.Stderr
+		prog := obs.NewProgress(os.Stderr, 2*time.Second, workers)
+		defer prog.Flush()
+		sinks = append(sinks, prog)
+	}
+	r.Sink = sinks
+	if *artifacts != "" {
+		j, err := obs.Open(*artifacts)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		r.Journal = j
+		if *resume {
+			restored, skipped, err := r.Resume()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "tdfmbench: resumed from %s: %d cells restored, %d journal entries skipped\n",
+				*artifacts, restored, skipped)
+		}
 	}
 
 	var csvTable *report.Table

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"runtime"
 	"testing"
 )
@@ -69,5 +70,38 @@ func TestRunRejectsCSVWithoutTable(t *testing.T) {
 func TestRunBadScale(t *testing.T) {
 	if err := run([]string{"-scale", "galactic"}); err == nil {
 		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestRunResumeRequiresArtifacts(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-resume"}); err == nil {
+		t.Fatal("-resume without -artifacts accepted")
+	}
+}
+
+func TestRunArtifactsAndResumeFlow(t *testing.T) {
+	dir := t.TempDir() + "/artifacts"
+	// A static experiment exercises journal open/resume without training.
+	if err := run([]string{"-exp", "table1", "-artifacts", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table1", "-artifacts", dir, "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir + "/cells"); err != nil {
+		t.Fatalf("artifacts layout not created: %v", err)
+	}
+}
+
+func TestRunPprofAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	cpu, trc := dir+"/cpu.out", dir+"/trace.out"
+	if err := run([]string{"-exp", "table1", "-pprof", cpu, "-trace", trc}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, trc} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s missing or empty (err %v)", p, err)
+		}
 	}
 }

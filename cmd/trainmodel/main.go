@@ -5,7 +5,11 @@
 // Usage:
 //
 //	trainmodel -model resnet18 -dataset gtsrblike -technique ls \
-//	           -faults mislabel@0.3 [-epochs 16] [-workers W] [-save weights.gob]
+//	           -faults mislabel@0.3 [-epochs 16] [-workers W] [-save weights.gob] \
+//	           [-progress] [-pprof cpu.out] [-trace trace.out]
+//
+// -progress prints a periodic heartbeat line while training runs; -pprof
+// and -trace write a CPU profile and a runtime execution trace.
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +27,7 @@ import (
 	"tdfm/internal/datagen"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/metrics"
+	"tdfm/internal/obs"
 	"tdfm/internal/parallel"
 	"tdfm/internal/tensor"
 	"tdfm/internal/xrand"
@@ -36,16 +43,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("trainmodel", flag.ContinueOnError)
 	var (
-		model    = fs.String("model", "convnet", "architecture name")
-		dataset  = fs.String("dataset", "gtsrblike", "dataset: cifar10like|gtsrblike|pneumonialike")
-		tech     = fs.String("technique", "base", "TDFM technique: base|ls|lc|rl|kd|ens")
-		faults   = fs.String("faults", "", "comma-separated fault specs type@rate (empty = clean)")
-		epochs   = fs.Int("epochs", 0, "training epochs (0 = architecture default)")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		scaleStr = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
-		clean    = fs.Float64("clean", 0.1, "clean fraction reserved for label correction")
-		save     = fs.String("save", "", "write the trained technique model's weights to this path (gob)")
-		workersN = fs.Int("workers", 0, "worker pool size for ensemble members and tensor kernels (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		model     = fs.String("model", "convnet", "architecture name")
+		dataset   = fs.String("dataset", "gtsrblike", "dataset: cifar10like|gtsrblike|pneumonialike")
+		tech      = fs.String("technique", "base", "TDFM technique: base|ls|lc|rl|kd|ens")
+		faults    = fs.String("faults", "", "comma-separated fault specs type@rate (empty = clean)")
+		epochs    = fs.Int("epochs", 0, "training epochs (0 = architecture default)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		scaleStr  = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
+		clean     = fs.Float64("clean", 0.1, "clean fraction reserved for label correction")
+		save      = fs.String("save", "", "write the trained technique model's weights to this path (gob)")
+		workersN  = fs.Int("workers", 0, "worker pool size for ensemble members and tensor kernels (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		progress  = fs.Bool("progress", false, "print a periodic heartbeat line while training")
+		pprofPath = fs.String("pprof", "", "write a CPU profile to this path")
+		tracePath = fs.String("trace", "", "write a runtime execution trace to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +67,34 @@ func run(args []string) error {
 	workers, err := resolveWorkers(*workersN)
 	if err != nil {
 		return err
+	}
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *pprofPath, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *tracePath, err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("starting execution trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	heartbeat := func(label string) func() { return func() {} }
+	if *progress {
+		heartbeat = func(label string) func() {
+			return obs.Heartbeat(os.Stderr, label, 2*time.Second)
+		}
 	}
 	parallel.SetBudget(workers)
 	tensor.SetParallelism(workers)
@@ -76,7 +114,9 @@ func run(args []string) error {
 	// Golden model: baseline on clean data.
 	tcfg := core.Config{Arch: *model, Epochs: *epochs}
 	fmt.Printf("training golden %s on clean %s (%d samples)…\n", *model, *dataset, train.Len())
+	stop := heartbeat("training golden " + *model)
 	golden, err := core.Baseline{}.Train(tcfg, core.TrainSet{Data: train}, xrand.New(*seed).Split("golden"))
+	stop()
 	if err != nil {
 		return err
 	}
@@ -106,7 +146,9 @@ func run(args []string) error {
 
 	fmt.Printf("training %s (%s) …\n", technique.Name(), technique.Description())
 	start := time.Now()
+	stop = heartbeat("training " + technique.Name())
 	clf, err := technique.Train(tcfg, ts, xrand.New(*seed).Split("technique"))
+	stop()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,155 @@
+// Command vetdocs is a go vet-style documentation gate: it fails (exit 1)
+// when a package lacks a package comment or an exported top-level
+// identifier — function, method on an exported type, type, constant, or
+// variable — lacks a doc comment. `make vet-docs` runs it over the
+// packages whose godoc this repository guarantees (internal/obs,
+// internal/parallel, internal/experiment), and `make test` runs vet-docs.
+//
+// Usage:
+//
+//	vetdocs <package-dir> [<package-dir> ...]
+//
+// Test files (*_test.go) are exempt: their helpers are documentation-free
+// by convention.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: vetdocs <package-dir> [<package-dir> ...]")
+		os.Exit(2)
+	}
+	if n := check(os.Args[1:], os.Stdout); n > 0 {
+		fmt.Fprintf(os.Stderr, "vetdocs: %d missing doc comment(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// check reports every documentation gap in the given package directories
+// to w and returns the number found.
+func check(dirs []string, w io.Writer) int {
+	missing := 0
+	report := func(pos token.Position, format string, args ...any) {
+		missing++
+		fmt.Fprintf(w, "%s: %s\n", pos, fmt.Sprintf(format, args...))
+	}
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", dir, err)
+			missing++
+			continue
+		}
+		for _, pkg := range pkgs {
+			checkPackage(fset, pkg, dir, report)
+		}
+	}
+	return missing
+}
+
+// checkPackage walks one parsed package.
+func checkPackage(fset *token.FileSet, pkg *ast.Package, dir string, report func(token.Position, string, ...any)) {
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc {
+		report(token.Position{Filename: dir}, "package %s has no package comment", pkg.Name)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(fset, d, report)
+			case *ast.GenDecl:
+				checkGen(fset, d, report)
+			}
+		}
+	}
+}
+
+// checkFunc flags exported functions, and exported methods on exported
+// receivers, that have no doc comment.
+func checkFunc(fset *token.FileSet, d *ast.FuncDecl, report func(token.Position, string, ...any)) {
+	if !d.Name.IsExported() || documented(d.Doc) {
+		return
+	}
+	if d.Recv != nil {
+		recv := receiverName(d.Recv)
+		if recv != "" && !ast.IsExported(recv) {
+			return // method on an unexported type: not part of the API
+		}
+		report(fset.Position(d.Pos()), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+		return
+	}
+	report(fset.Position(d.Pos()), "exported function %s has no doc comment", d.Name.Name)
+}
+
+// checkGen flags exported type/const/var specs documented neither on the
+// spec nor on the enclosing declaration group.
+func checkGen(fset *token.FileSet, d *ast.GenDecl, report func(token.Position, string, ...any)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	groupDoc := documented(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !documented(s.Doc) {
+				report(fset.Position(s.Pos()), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || documented(s.Doc) || documented(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(fset.Position(name.Pos()), "exported %s %s has no doc comment", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's base type name (stripping pointers
+// and type parameters).
+func receiverName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// documented reports whether a comment group carries actual text.
+func documented(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.TrimSpace(doc.Text()) != ""
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const undocumented = `package demo
+
+func Exported() {}
+
+type Thing struct{}
+
+func (t *Thing) Method() {}
+
+type hidden struct{}
+
+func (h hidden) Exposed() {} // unexported receiver: exempt
+
+const Answer = 42
+
+var Config = "x"
+
+func internal() {}
+`
+
+const documentedSrc = `// Package demo is documented.
+package demo
+
+// Exported does something.
+func Exported() {}
+
+// Thing is a thing.
+type Thing struct{}
+
+// Method acts on a Thing.
+func (t *Thing) Method() {}
+
+// Grouped constants share one doc comment.
+const (
+	A = 1
+	B = 2
+)
+
+var C = 3 // C is documented by a trailing comment.
+`
+
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckFlagsMissingDocs(t *testing.T) {
+	var buf strings.Builder
+	n := check([]string{write(t, "demo.go", undocumented)}, &buf)
+	out := buf.String()
+	for _, want := range []string{
+		"no package comment",
+		"exported function Exported",
+		"exported type Thing",
+		"exported method Thing.Method",
+		"exported const Answer",
+		"exported var Config",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"hidden", "Exposed", "internal"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("unexported identifier %q flagged:\n%s", reject, out)
+		}
+	}
+	if n != 6 {
+		t.Errorf("found %d issues, want 6:\n%s", n, out)
+	}
+}
+
+func TestCheckAcceptsDocumented(t *testing.T) {
+	var buf strings.Builder
+	if n := check([]string{write(t, "demo.go", documentedSrc)}, &buf); n != 0 {
+		t.Fatalf("documented package flagged %d times:\n%s", n, buf.String())
+	}
+}
+
+func TestCheckSkipsTestFiles(t *testing.T) {
+	dir := write(t, "demo_test.go", "package demo\n\nfunc Helper() {}\n")
+	// A directory with only test files parses to zero packages — clean.
+	var buf strings.Builder
+	if n := check([]string{dir}, &buf); n != 0 {
+		t.Fatalf("test file flagged:\n%s", buf.String())
+	}
+}
+
+func TestCheckReportsUnparseableDir(t *testing.T) {
+	var buf strings.Builder
+	if n := check([]string{write(t, "demo.go", "package demo\nfunc {")}, &buf); n == 0 {
+		t.Fatal("parse error not reported")
+	}
+}
+
+// TestGuardedPackagesStayDocumented runs the real gate over the packages
+// make vet-docs guards, so `go test` fails on a doc regression even when
+// the make target is bypassed.
+func TestGuardedPackagesStayDocumented(t *testing.T) {
+	var buf strings.Builder
+	dirs := []string{"../../internal/obs", "../../internal/parallel", "../../internal/experiment"}
+	if n := check(dirs, &buf); n != 0 {
+		t.Fatalf("guarded packages have %d missing doc comment(s):\n%s", n, buf.String())
+	}
+}

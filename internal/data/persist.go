@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"tdfm/internal/tensor"
 )
@@ -73,6 +74,44 @@ func (d *Dataset) Save(path string) error {
 	if err := w.Flush(); err != nil {
 		return fmt.Errorf("data: flushing %s: %w", path, err)
 	}
+	return nil
+}
+
+// WriteFileAtomic writes a file by streaming through write into a
+// temporary file in the destination directory, syncing it, and renaming it
+// over path. Readers therefore never observe a partially written file: the
+// rename either installs the complete content or leaves the previous file
+// (or absence) intact. The experiment journal uses this for per-cell
+// prediction checkpoints so a crash mid-write cannot corrupt a checkpoint.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("data: creating temp file in %s: %w", dir, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriter(tmp)
+	if err := write(w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("data: flushing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("data: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("data: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("data: installing %s: %w", path, err)
+	}
+	tmp = nil
 	return nil
 }
 

@@ -2,6 +2,9 @@ package data
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -99,5 +102,53 @@ func TestDecodedDatasetIsIndependent(t *testing.T) {
 	got.X.Set(99, 0, 0, 0, 0)
 	if d.X.At(0, 0, 0, 0) == 99 {
 		t.Fatal("decoded dataset aliases source")
+	}
+}
+
+func TestWriteFileAtomicInstallsContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed write left files behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	for _, content := range []string{"first", "second"} {
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("read back %q, want %q", got, "second")
 	}
 }

@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdfm/internal/faultinject"
+	"tdfm/internal/obs"
+)
+
+// resumeRunner builds the fast regression runner, attaching a journal in
+// dir when dir is non-empty.
+func resumeRunner(t *testing.T, dir string) *Runner {
+	t.Helper()
+	r := fastRunner(1)
+	r.EpochOverride = 2
+	if dir != "" {
+		j, err := obs.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { j.Close() })
+		r.Journal = j
+	}
+	return r
+}
+
+// resumeGrid runs the small regression grid (every Remove-applicable
+// technique at one rate, one repetition) and returns its exported CSV.
+func resumeGrid(t *testing.T, r *Runner) string {
+	t.Helper()
+	p, err := r.RunPanel("pneumonialike", "convnet", faultinject.Remove, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := &Figure3Result{FaultType: faultinject.Remove, Panels: []*Panel{p}}
+	var csv strings.Builder
+	if err := fig.Table().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String()
+}
+
+// journalLines returns the journal's raw lines (trailing empty dropped).
+func journalLines(t *testing.T, dir string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		return nil
+	}
+	return lines
+}
+
+// TestResumeByteIdenticalAfterTruncation is the PR's central regression:
+// a grid whose journal is truncated mid-way (simulating a kill -9) and
+// then resumed must export a CSV byte-identical to an uninterrupted run,
+// and the resumed run must recompute only the unrecorded cells.
+func TestResumeByteIdenticalAfterTruncation(t *testing.T) {
+	uninterrupted := resumeGrid(t, resumeRunner(t, ""))
+
+	dir := t.TempDir()
+	full := resumeRunner(t, dir)
+	if got := resumeGrid(t, full); got != uninterrupted {
+		t.Fatalf("journaling changed results:\n%s\nvs\n%s", got, uninterrupted)
+	}
+	wantKeys := full.CachedKeys()
+	lines := journalLines(t, dir)
+	if len(lines) != len(wantKeys) {
+		t.Fatalf("journal has %d records for %d cells", len(lines), len(wantKeys))
+	}
+
+	// Kill the run halfway: drop the second half of the journal.
+	cut := len(lines) / 2
+	truncated := strings.Join(lines[:cut], "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := resumeRunner(t, dir)
+	restored, skipped, err := resumed.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != cut || skipped != 0 {
+		t.Fatalf("resume restored %d cells (skipped %d), want %d restored", restored, skipped, cut)
+	}
+	if got := resumed.CacheSize(); got != cut {
+		t.Fatalf("cache size after resume %d, want %d", got, cut)
+	}
+	if got := resumeGrid(t, resumed); got != uninterrupted {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n%s\nvs\n%s", got, uninterrupted)
+	}
+
+	// The journal must show only the incomplete cells were recomputed:
+	// exactly the missing records were appended, none re-trained.
+	after := journalLines(t, dir)
+	if len(after) != len(wantKeys) {
+		t.Fatalf("journal grew to %d records after resume, want %d (only incomplete cells recomputed)", len(after), len(wantKeys))
+	}
+	if got := resumed.CachedKeys(); strings.Join(got, "\n") != strings.Join(wantKeys, "\n") {
+		t.Fatalf("cached keys after resumed run differ:\n%v\nvs\n%v", got, wantKeys)
+	}
+}
+
+// TestResumeSkipsCorruptJournalLine: a corrupt record (torn write) must be
+// skipped with a warning event, its cell recomputed, and the final CSV
+// unchanged.
+func TestResumeSkipsCorruptJournalLine(t *testing.T) {
+	uninterrupted := resumeGrid(t, resumeRunner(t, ""))
+
+	dir := t.TempDir()
+	resumeGrid(t, resumeRunner(t, dir))
+	lines := journalLines(t, dir)
+	lines[0] = `{"v":1,"key":"torn` // simulate a torn write on the first record
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"),
+		[]byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := resumeRunner(t, dir)
+	var warnings []obs.Event
+	resumed.Sink = obs.SinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindJournalError {
+			warnings = append(warnings, e)
+		}
+	})
+	restored, skipped, err := resumed.Resume()
+	if err != nil {
+		t.Fatalf("a corrupt line must not fail the resume: %v", err)
+	}
+	if restored != len(lines)-1 || skipped != 1 {
+		t.Fatalf("restored %d, skipped %d; want %d and 1", restored, skipped, len(lines)-1)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("got %d journal warnings, want 1", len(warnings))
+	}
+	if got := resumeGrid(t, resumed); got != uninterrupted {
+		t.Fatalf("CSV differs after corrupt-line resume:\n%s\nvs\n%s", got, uninterrupted)
+	}
+}
+
+// TestResumeSkipsTamperedCheckpoint: a checkpoint whose digest no longer
+// matches the journal must be rejected and its cell recomputed.
+func TestResumeSkipsTamperedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	full := resumeRunner(t, dir)
+	uninterrupted := resumeGrid(t, full)
+	keys := full.CachedKeys()
+
+	path := obs.CellFile(dir, keys[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"pred":[`, `"pred":[424242,`, 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := resumeRunner(t, dir)
+	restored, skipped, err := resumed.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != len(keys)-1 || skipped != 1 {
+		t.Fatalf("restored %d, skipped %d; want %d and 1", restored, skipped, len(keys)-1)
+	}
+	if got := resumeGrid(t, resumed); got != uninterrupted {
+		t.Fatalf("CSV differs after tampered-checkpoint resume:\n%s\nvs\n%s", got, uninterrupted)
+	}
+}
+
+// TestCachedKeysConsistentAfterResume pins the cache-accounting fix:
+// restored golden ("base" on clean data) and faulty technique cells must
+// count in CacheSize/CachedKeys exactly like freshly trained ones.
+func TestCachedKeysConsistentAfterResume(t *testing.T) {
+	dir := t.TempDir()
+	full := resumeRunner(t, dir)
+	resumeGrid(t, full)
+	wantKeys := full.CachedKeys()
+	wantSize := full.CacheSize()
+
+	resumed := resumeRunner(t, dir)
+	if restored, _, err := resumed.Resume(); err != nil || restored != wantSize {
+		t.Fatalf("resume: restored %d, err %v; want %d", restored, err, wantSize)
+	}
+	gotKeys := resumed.CachedKeys()
+	if strings.Join(gotKeys, "\n") != strings.Join(wantKeys, "\n") {
+		t.Fatalf("restored cache keys differ:\n%v\nvs\n%v", gotKeys, wantKeys)
+	}
+	if resumed.CacheSize() != wantSize {
+		t.Fatalf("restored cache size %d, want %d", resumed.CacheSize(), wantSize)
+	}
+	var hasGolden, hasFaulty bool
+	for _, k := range gotKeys {
+		if strings.Contains(k, "|base|") && strings.Contains(k, "|clean|") {
+			hasGolden = true
+		}
+		if strings.Contains(k, "@0.3") {
+			hasFaulty = true
+		}
+	}
+	if !hasGolden || !hasFaulty {
+		t.Fatalf("restored cache must hold golden and faulty cells alike; keys: %v", gotKeys)
+	}
+}
+
+// TestResumeIgnoresOtherConfigurations: records from a different epoch
+// override (or any other result-affecting knob) must not be restored.
+func TestResumeIgnoresOtherConfigurations(t *testing.T) {
+	dir := t.TempDir()
+	full := resumeRunner(t, dir)
+	resumeGrid(t, full)
+	n := full.CacheSize()
+
+	other := resumeRunner(t, dir)
+	other.EpochOverride = 3
+	restored, skipped, err := other.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 || skipped != n {
+		t.Fatalf("foreign config restored %d cells (skipped %d), want 0 (%d skipped)", restored, skipped, n)
+	}
+}
+
+// TestResumeRequiresJournal: resuming without an attached journal is a
+// caller error.
+func TestResumeRequiresJournal(t *testing.T) {
+	r := fastRunner(1)
+	if _, _, err := r.Resume(); err == nil {
+		t.Fatal("Resume without a journal succeeded")
+	}
+}
+
+// TestResumeEmptyJournal: resuming against a fresh artifacts directory
+// (first run with -resume) restores nothing and fails nothing.
+func TestResumeEmptyJournal(t *testing.T) {
+	r := resumeRunner(t, t.TempDir())
+	restored, skipped, err := r.Resume()
+	if err != nil || restored != 0 || skipped != 0 {
+		t.Fatalf("empty resume: %d restored, %d skipped, err %v", restored, skipped, err)
+	}
+}

@@ -16,6 +16,15 @@
 // Workers field. Every cell derives its randomness from the root seed by
 // cell key, never by call order, so any schedule (including Workers=1, the
 // original serial behaviour) produces byte-identical results.
+//
+// Runs are crash-safe and observable through internal/obs: a Runner with a
+// Journal attached records every completed cell durably (append-only JSONL
+// journal plus atomically written per-cell prediction checkpoints), Resume
+// reloads those cells into the memo cache so a killed grid recomputes only
+// its unfinished cells, and a Sink receives structured progress events
+// (cell start/finish, cache hit/miss, restores, grid plans). Because cell
+// randomness is keyed rather than scheduled, a resumed run's outputs are
+// byte-identical to an uninterrupted run's.
 package experiment
 
 import (
@@ -33,6 +42,7 @@ import (
 	"tdfm/internal/datagen"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/metrics"
+	"tdfm/internal/obs"
 	"tdfm/internal/parallel"
 	"tdfm/internal/xrand"
 )
@@ -63,6 +73,15 @@ type Runner struct {
 	// from the shared parallel budget so nested fan-out (ensemble members,
 	// tensor ops) cannot oversubscribe the machine.
 	Workers int
+	// Journal, when non-nil, durably records every successfully trained
+	// cell (journal record + atomic prediction checkpoint) so the run can
+	// be resumed after a crash. Journal write failures never fail the
+	// run; they surface as KindJournalError events on Sink.
+	Journal *obs.Journal
+	// Sink, when non-nil, receives structured progress events. Sinks
+	// observe only: they are invoked outside result-bearing computation
+	// and must be safe for concurrent use.
+	Sink obs.Sink
 
 	mu       sync.Mutex
 	datasets map[string]*dsEntry
@@ -93,6 +112,13 @@ func NewRunner(scale datagen.Scale, seed uint64, reps int) *Runner {
 		CleanFrac: 0.1,
 		datasets:  make(map[string]*dsEntry),
 		preds:     make(map[string]*predEntry),
+	}
+}
+
+// emit forwards an event to the runner's sink, if any.
+func (r *Runner) emit(e obs.Event) {
+	if r.Sink != nil {
+		r.Sink.Emit(e)
 	}
 }
 
@@ -178,6 +204,7 @@ func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) 
 	r.mu.Lock()
 	if e, ok := r.preds[key]; ok {
 		r.mu.Unlock()
+		r.emit(obs.Event{Kind: obs.KindCacheHit, Key: key})
 		<-e.done
 		return e.pred, e.trainDur, e.err
 	}
@@ -185,7 +212,23 @@ func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) 
 	r.preds[key] = e
 	r.mu.Unlock()
 	defer close(e.done)
+	r.emit(obs.Event{Kind: obs.KindCacheMiss, Key: key})
+	r.emit(obs.Event{Kind: obs.KindCellStart, Key: key})
 	e.pred, e.trainDur, e.err = r.trainCell(key, ds, tech, arch, specs, rep)
+	r.emit(obs.Event{Kind: obs.KindCellFinish, Key: key, Dur: e.trainDur, Err: e.err})
+	if e.err == nil && r.Journal != nil {
+		rec := obs.Record{
+			Key:       key,
+			TrainNS:   e.trainDur.Nanoseconds(),
+			Workers:   r.workers(),
+			Seed:      r.Seed,
+			WidthMult: r.WidthMult,
+			CleanFrac: r.CleanFrac,
+		}
+		if jerr := r.Journal.Append(rec, e.pred); jerr != nil {
+			r.emit(obs.Event{Kind: obs.KindJournalError, Key: key, Err: jerr})
+		}
+	}
 	return e.pred, e.trainDur, e.err
 }
 
@@ -255,10 +298,6 @@ func goldenReq(ds, arch string, rep int) cellReq {
 // fewer than two cells to train) warm is a no-op and the measurement loop
 // trains serially, reproducing the original schedule exactly.
 func (r *Runner) warm(cells []cellReq) {
-	w := r.workers()
-	if w <= 1 || len(cells) < 2 {
-		return
-	}
 	seen := make(map[string]bool, len(cells))
 	uniq := cells[:0:0]
 	r.mu.Lock()
@@ -274,7 +313,12 @@ func (r *Runner) warm(cells []cellReq) {
 		uniq = append(uniq, c)
 	}
 	r.mu.Unlock()
-	if len(uniq) < 2 {
+	// Announce the batch (deduplicated, uncached cells only) so progress
+	// sinks can maintain a completion fraction and an ETA. Serial runs
+	// announce too: the measurement loop trains the same cells inline.
+	r.emit(obs.Event{Kind: obs.KindGridPlan, N: len(uniq)})
+	w := r.workers()
+	if w <= 1 || len(uniq) < 2 {
 		return
 	}
 	if w > len(uniq) {
@@ -391,6 +435,74 @@ func (r *Runner) GoldenAccuracy(ds, tech, arch string) (metrics.Summary, error) 
 		accs = append(accs, metrics.Accuracy(pred, test.Labels))
 	}
 	return metrics.Summarize(accs), nil
+}
+
+// Resume installs every completed cell recorded in the attached Journal's
+// directory into the memo cache, so subsequent experiment calls recompute
+// only the cells that were not durably recorded. Checkpoints are verified
+// (key, length, digest) before use; corrupt journal lines, unreadable or
+// mismatched checkpoints, and records from a different configuration
+// (seed, scale, epoch override, width multiplier, or clean fraction) are
+// skipped — with a KindJournalError event for damaged ones — and their
+// cells recompute as usual.
+//
+// Restored cells are indistinguishable from freshly trained ones: they
+// count in CacheSize and CachedKeys (golden "base" cells and technique
+// cells alike), serve cache hits, and report their original training
+// duration. Because per-cell randomness is keyed by cell key rather than
+// by schedule, recomputing a skipped cell yields byte-identical
+// predictions to the checkpointed run, so any mix of restored and
+// recomputed cells produces the same summaries and CSVs as an
+// uninterrupted run.
+//
+// Resume returns the number of cells restored and the number of journal
+// entries skipped. It should be called before the first experiment call;
+// records for cells already in the memo cache are ignored.
+func (r *Runner) Resume() (restored, skipped int, err error) {
+	if r.Journal == nil {
+		return 0, 0, fmt.Errorf("experiment: Resume requires an attached Journal")
+	}
+	dir := r.Journal.Dir()
+	recs, err := obs.Load(dir, func(line int, lerr error) {
+		skipped++
+		r.emit(obs.Event{Kind: obs.KindJournalError, Err: fmt.Errorf("journal line %d skipped: %w", line, lerr)})
+	})
+	if err != nil {
+		return 0, skipped, err
+	}
+	// The cell key pins dataset/technique/arch/faults/rep plus scale,
+	// seed, and epoch override; the record pins the remaining knobs that
+	// affect results. Anything else belongs to a different study.
+	suffix := fmt.Sprintf("|scale%d|seed%d|ep%d", r.Scale, r.Seed, r.EpochOverride)
+	for _, rec := range recs {
+		if !strings.HasSuffix(rec.Key, suffix) ||
+			rec.Seed != r.Seed || rec.WidthMult != r.WidthMult || rec.CleanFrac != r.CleanFrac {
+			skipped++
+			continue
+		}
+		pred, perr := obs.LoadPred(dir, rec)
+		if perr != nil {
+			skipped++
+			r.emit(obs.Event{Kind: obs.KindJournalError, Key: rec.Key, Err: perr})
+			continue
+		}
+		e := &predEntry{done: make(chan struct{}), pred: pred, trainDur: time.Duration(rec.TrainNS)}
+		close(e.done)
+		installed := false
+		r.mu.Lock()
+		if _, exists := r.preds[rec.Key]; !exists {
+			r.preds[rec.Key] = e
+			installed = true
+		}
+		r.mu.Unlock()
+		if installed {
+			restored++
+			r.emit(obs.Event{Kind: obs.KindCellRestored, Key: rec.Key, Dur: e.trainDur})
+		} else {
+			skipped++
+		}
+	}
+	return restored, skipped, nil
 }
 
 // CacheSize returns the number of memoized successful prediction entries

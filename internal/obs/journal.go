@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"tdfm/internal/data"
+)
+
+// RecordVersion is the journal record schema version written by this
+// package. Load skips records with a newer version (forward compatibility)
+// rather than failing the run.
+const RecordVersion = 1
+
+const (
+	journalFile = "journal.jsonl"
+	cellDir     = "cells"
+)
+
+// Record is one line of the run journal: the durable metadata of one
+// completed experiment cell. The cell's test-set predictions — the inputs
+// to every accuracy and Accuracy Delta computation — live in a separate
+// checkpoint file (see CellFile) referenced by Key and guarded by Digest.
+type Record struct {
+	// V is the record schema version (RecordVersion at write time).
+	V int `json:"v"`
+	// Key is the runner's cell key: dataset, technique, architecture,
+	// fault specs, repetition, scale, seed, and epoch override.
+	Key string `json:"key"`
+	// Digest is the prediction digest (see Digest) used to verify the
+	// checkpoint file on resume.
+	Digest string `json:"digest"`
+	// N is the number of test-set predictions in the checkpoint.
+	N int `json:"n"`
+	// TrainNS is the cell's training wall-clock in nanoseconds.
+	TrainNS int64 `json:"train_ns"`
+	// Workers is the runner pool size that trained the cell (diagnostic
+	// only: results are worker-count invariant).
+	Workers int `json:"workers"`
+	// Seed is the root experiment seed.
+	Seed uint64 `json:"seed"`
+	// WidthMult and CleanFrac pin the runner knobs that affect results
+	// but are not part of the cell key; Resume refuses records whose
+	// values differ from the resuming runner's.
+	WidthMult float64 `json:"width_mult"`
+	CleanFrac float64 `json:"clean_frac"`
+	// Wall is the completion time in RFC 3339 format (diagnostic only).
+	Wall string `json:"wall"`
+}
+
+// Digest returns the prediction digest stored in journal records: a
+// 64-bit FNV-1a hash over the decimal predictions. It detects checkpoint
+// files that were truncated, tampered with, or mismatched against the
+// journal, in which case the cell is recomputed.
+func Digest(pred []int) string {
+	h := fnv.New64a()
+	var buf [20]byte
+	for _, p := range pred {
+		b := strconv.AppendInt(buf[:0], int64(p), 10)
+		b = append(b, ',')
+		_, _ = h.Write(b)
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// CellFile returns the checkpoint path for a cell key under dir: a SHA-256
+// hex name (cell keys contain characters that are unsafe in file names).
+func CellFile(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, cellDir, fmt.Sprintf("%x.json", sum))
+}
+
+// cellCheckpoint is the JSON schema of one prediction checkpoint file.
+type cellCheckpoint struct {
+	Key  string `json:"key"`
+	Pred []int  `json:"pred"`
+}
+
+// Journal is a crash-safe record of completed experiment cells under an
+// artifacts directory:
+//
+//	<dir>/journal.jsonl   append-only, one JSON record per completed cell
+//	<dir>/cells/<sha>.json  per-cell prediction checkpoints
+//
+// Appends write the checkpoint first (atomic rename-on-write via
+// internal/data), then the journal line in a single synced write, so a
+// crash at any instant leaves either a fully recorded cell or no record —
+// never a record pointing at a partial checkpoint. Append is safe for
+// concurrent use by pool workers.
+type Journal struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open creates (if needed) the artifacts layout under dir and opens the
+// journal for appending. An existing journal is preserved: Open never
+// truncates, so re-running with the same directory accumulates records and
+// Load sees both the old and new cells.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Join(dir, cellDir), 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating artifacts dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	return &Journal{dir: dir, f: f}, nil
+}
+
+// Dir returns the artifacts directory the journal writes under.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append durably records one completed cell: it checkpoints pred
+// atomically, then appends rec (stamped with RecordVersion, pred's digest
+// and length, and the completion time) as one synced JSONL line.
+func (j *Journal) Append(rec Record, pred []int) error {
+	rec.V = RecordVersion
+	rec.Digest = Digest(pred)
+	rec.N = len(pred)
+	rec.Wall = time.Now().UTC().Format(time.RFC3339)
+	err := data.WriteFileAtomic(CellFile(j.dir, rec.Key), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(cellCheckpoint{Key: rec.Key, Pred: pred})
+	})
+	if err != nil {
+		return fmt.Errorf("obs: checkpointing %s: %w", rec.Key, err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: encoding record for %s: %w", rec.Key, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("obs: journal is closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("obs: appending record for %s: %w", rec.Key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("obs: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Load reads every valid record from the journal under dir. Lines that do
+// not parse, carry a newer schema version, or lack a key — the possible
+// remains of a crash mid-append or of manual editing — are skipped after
+// calling warn (if non-nil) with the 1-based line number; the run then
+// simply recomputes those cells. A missing journal loads as empty. When
+// the same key appears more than once the last record wins.
+func Load(dir string, warn func(line int, err error)) ([]Record, error) {
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	defer f.Close()
+	var (
+		recs  []Record
+		index = make(map[string]int)
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec Record
+		bad := json.Unmarshal(text, &rec)
+		if bad == nil && rec.V > RecordVersion {
+			bad = fmt.Errorf("record version %d newer than supported %d", rec.V, RecordVersion)
+		}
+		if bad == nil && rec.Key == "" {
+			bad = fmt.Errorf("record has no cell key")
+		}
+		if bad != nil {
+			if warn != nil {
+				warn(line, bad)
+			}
+			continue
+		}
+		if i, ok := index[rec.Key]; ok {
+			recs[i] = rec
+			continue
+		}
+		index[rec.Key] = len(recs)
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading journal: %w", err)
+	}
+	return recs, nil
+}
+
+// LoadPred reads the prediction checkpoint for rec from the artifacts
+// directory and verifies its key, length, and digest against the record.
+// Any mismatch returns an error and the caller recomputes the cell.
+func LoadPred(dir string, rec Record) ([]int, error) {
+	path := CellFile(dir, rec.Key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading checkpoint for %s: %w", rec.Key, err)
+	}
+	var cp cellCheckpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return nil, fmt.Errorf("obs: decoding checkpoint %s: %w", path, err)
+	}
+	if cp.Key != rec.Key {
+		return nil, fmt.Errorf("obs: checkpoint %s holds cell %q, journal expects %q", path, cp.Key, rec.Key)
+	}
+	if len(cp.Pred) != rec.N {
+		return nil, fmt.Errorf("obs: checkpoint for %s has %d predictions, journal recorded %d", rec.Key, len(cp.Pred), rec.N)
+	}
+	if got := Digest(cp.Pred); got != rec.Digest {
+		return nil, fmt.Errorf("obs: checkpoint for %s digest %s does not match journal %s", rec.Key, got, rec.Digest)
+	}
+	return cp.Pred, nil
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// appendCells writes n records with distinct keys and predictable preds.
+func appendCells(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := Record{Key: fmt.Sprintf("cell%d|scale0|seed1|ep2", i), TrainNS: int64(i+1) * 1e6, Workers: 2, Seed: 1}
+		if err := j.Append(rec, []int{i, i + 1, i + 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, j, 3)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(dir, func(line int, err error) { t.Errorf("unexpected warning on line %d: %v", line, err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.V != RecordVersion {
+			t.Errorf("record %d version %d, want %d", i, rec.V, RecordVersion)
+		}
+		if rec.N != 3 || rec.Wall == "" || !strings.HasPrefix(rec.Digest, "fnv1a:") {
+			t.Errorf("record %d not fully stamped: %+v", i, rec)
+		}
+		pred, err := LoadPred(dir, rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := []int{i, i + 1, i + 2}
+		for k := range want {
+			if pred[k] != want[k] {
+				t.Fatalf("record %d predictions %v, want %v", i, pred, want)
+			}
+		}
+	}
+}
+
+func TestJournalOpenPreservesExisting(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, j, 2)
+	j.Close()
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Key: "late"}, []int{9}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs, err := Load(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("reopened journal has %d records, want 3 (append must not truncate)", len(recs))
+	}
+}
+
+func TestJournalCorruptLineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, j, 2)
+	j.Close()
+	// Simulate a crash mid-append: a truncated, unparseable trailing line.
+	path := filepath.Join(dir, "journal.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	corrupted := lines[0] + `{"v":1,"key":"torn` + "\n" + lines[1]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warned := 0
+	recs, err := Load(dir, func(line int, err error) {
+		warned++
+		if line != 2 {
+			t.Errorf("warning on line %d, want 2", line)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warned != 1 || len(recs) != 2 {
+		t.Fatalf("got %d records with %d warnings, want 2 records and 1 warning", len(recs), warned)
+	}
+}
+
+func TestJournalNewerVersionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	line := fmt.Sprintf(`{"v":%d,"key":"future"}`+"\n", RecordVersion+1)
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warned := 0
+	recs, err := Load(dir, func(int, error) { warned++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || warned != 1 {
+		t.Fatalf("got %d records with %d warnings, want 0 and 1", len(recs), warned)
+	}
+}
+
+func TestJournalDuplicateKeyLastWins(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "dup", TrainNS: 1}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "dup", TrainNS: 2}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, err := Load(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TrainNS != 2 {
+		t.Fatalf("got %+v, want one record with TrainNS 2", recs)
+	}
+}
+
+func TestLoadPredDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Key: "cell"}, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	recs, err := Load(dir, nil)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("load: %v (%d records)", err, len(recs))
+	}
+	path := CellFile(dir, "cell")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), "[1,2,3]", "[1,2,4]", 1)
+	if tampered == string(raw) {
+		t.Fatal("test could not tamper with the checkpoint payload")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPred(dir, recs[0]); err == nil {
+		t.Fatal("tampered checkpoint accepted")
+	}
+}
+
+func TestLoadMissingJournal(t *testing.T) {
+	recs, err := Load(t.TempDir(), nil)
+	if err != nil || recs != nil {
+		t.Fatalf("missing journal: got %v, %v; want nil, nil", recs, err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(Record{Key: "x"}, []int{1}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestDigestDistinguishes(t *testing.T) {
+	if Digest([]int{1, 2}) == Digest([]int{2, 1}) {
+		t.Fatal("digest ignores order")
+	}
+	if Digest([]int{12}) == Digest([]int{1, 2}) {
+		t.Fatal("digest ignores element boundaries")
+	}
+	if Digest(nil) != Digest([]int{}) {
+		t.Fatal("nil and empty predictions should digest equally")
+	}
+}

@@ -1,0 +1,113 @@
+// Package obs makes long experiment runs crash-safe and observable.
+//
+// The package has two halves:
+//
+//   - A run journal (Journal): an append-only JSONL file plus one
+//     atomically written prediction checkpoint per completed experiment
+//     cell, stored under an artifacts directory. A killed grid run can be
+//     resumed from the journal, recomputing only the cells that had not
+//     finished; because every cell derives its randomness from the root
+//     seed by cell key (never by schedule), the resumed run's outputs are
+//     byte-identical to an uninterrupted run's.
+//
+//   - Observability sinks (Sink): structured progress events emitted by
+//     the experiment runner — cell start/finish, memo cache hit/miss,
+//     checkpoint restores, journal problems — which feed the CLIs'
+//     periodic progress line (Progress, with pool occupancy and an ETA
+//     derived from completed-cell timings) or any custom consumer.
+//
+// Emitting an event must never perturb results: sinks only observe, and
+// the runner emits outside of any result-bearing computation.
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies an Event.
+type Kind int
+
+// Event kinds emitted by the experiment runner.
+const (
+	// KindGridPlan announces that a batch of cells has been scheduled;
+	// Event.N is the number of not-yet-cached cells in the batch.
+	KindGridPlan Kind = iota
+	// KindCellStart marks the beginning of one cell's training.
+	KindCellStart
+	// KindCellFinish marks the end of one cell's training; Event.Dur is
+	// the training wall-clock and Event.Err any training failure.
+	KindCellFinish
+	// KindCacheHit marks a Predictions call served from the memo cache.
+	KindCacheHit
+	// KindCacheMiss marks a Predictions call that must train.
+	KindCacheMiss
+	// KindCellRestored marks a cell loaded from a journal checkpoint
+	// instead of being recomputed; Event.Dur is the original training
+	// wall-clock recorded in the journal.
+	KindCellRestored
+	// KindJournalError reports a non-fatal journal problem (corrupt
+	// record, unreadable checkpoint, failed append); the run continues
+	// and the affected cell is recomputed.
+	KindJournalError
+)
+
+// String returns a stable lower-case name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGridPlan:
+		return "grid-plan"
+	case KindCellStart:
+		return "cell-start"
+	case KindCellFinish:
+		return "cell-finish"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheMiss:
+		return "cache-miss"
+	case KindCellRestored:
+		return "cell-restored"
+	case KindJournalError:
+		return "journal-error"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one structured progress notification from the experiment
+// runner. Only the fields relevant to the Kind are populated.
+type Event struct {
+	Kind Kind
+	// Key is the cell key for cell-scoped events.
+	Key string
+	// Dur is the training wall-clock for KindCellFinish and
+	// KindCellRestored.
+	Dur time.Duration
+	// N is the scheduled-cell count for KindGridPlan.
+	N int
+	// Err carries the failure for KindJournalError and failed
+	// KindCellFinish events.
+	Err error
+}
+
+// Sink consumes runner events. Implementations must be safe for
+// concurrent use: grid cells finish on multiple workers.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f(e).
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Sinks fans every event out to each member in order.
+type Sinks []Sink
+
+// Emit forwards e to every member sink.
+func (s Sinks) Emit(e Event) {
+	for _, sink := range s {
+		sink.Emit(e)
+	}
+}

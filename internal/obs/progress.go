@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tdfm/internal/parallel"
+)
+
+// Progress is a Sink that maintains run counters and prints a throttled
+// one-line status to w: cells done vs planned, restores and cache hits,
+// shared-pool occupancy (from internal/parallel), the mean wall-clock per
+// trained cell, and an ETA for the remaining planned cells. Lines are
+// printed at most once per interval, on cell completion; call Flush for a
+// final unconditional line when the run ends.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	workers  int
+
+	mu       sync.Mutex
+	start    time.Time
+	last     time.Time
+	planned  int
+	trained  int
+	restored int
+	hits     int
+	failed   int
+	trainSum time.Duration
+}
+
+// NewProgress returns a Progress writing to w at most once per interval.
+// workers is the runner pool size used for the ETA estimate; values < 1
+// are treated as 1. A non-positive interval prints on every completion.
+func NewProgress(w io.Writer, interval time.Duration, workers int) *Progress {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Progress{w: w, interval: interval, workers: workers, start: time.Now()}
+}
+
+// Emit updates the counters and, on cell completion, prints the status
+// line if the throttle interval has elapsed.
+func (p *Progress) Emit(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case KindGridPlan:
+		p.planned += e.N
+	case KindCellFinish:
+		if e.Err != nil {
+			p.failed++
+		} else {
+			p.trained++
+			p.trainSum += e.Dur
+		}
+	case KindCellRestored:
+		p.restored++
+	case KindCacheHit:
+		p.hits++
+		return // cache hits are frequent and not worth a line
+	case KindJournalError:
+		fmt.Fprintf(p.w, "journal warning: %v\n", e.Err)
+		return
+	default:
+		return
+	}
+	if time.Since(p.last) >= p.interval {
+		p.line()
+		p.last = time.Now()
+	}
+}
+
+// Flush prints a final status line regardless of the throttle.
+func (p *Progress) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.line()
+}
+
+// line prints the status; callers hold p.mu.
+func (p *Progress) line() {
+	done := p.trained + p.restored
+	fmt.Fprintf(p.w, "progress: %d/%d cells", done, max(p.planned, done))
+	if p.restored > 0 {
+		fmt.Fprintf(p.w, " (%d restored)", p.restored)
+	}
+	if p.failed > 0 {
+		fmt.Fprintf(p.w, ", %d FAILED", p.failed)
+	}
+	fmt.Fprintf(p.w, ", cache hits %d, pool %d/%d busy", p.hits, parallel.InUse()+1, parallel.Budget())
+	if p.trained > 0 {
+		avg := p.trainSum / time.Duration(p.trained)
+		fmt.Fprintf(p.w, ", avg %s/cell", avg.Round(time.Millisecond))
+		if remaining := p.planned - done; remaining > 0 {
+			eta := avg * time.Duration(remaining) / time.Duration(min(p.workers, remaining))
+			fmt.Fprintf(p.w, ", ETA %s", eta.Round(time.Second))
+		}
+	}
+	fmt.Fprintf(p.w, ", elapsed %s\n", time.Since(p.start).Round(time.Second))
+}
+
+// Heartbeat prints "label … elapsed Ns" to w every interval until the
+// returned stop function is called. trainmodel uses it to show liveness
+// during a long single training run; it is a no-op observer and never
+// affects results.
+func Heartbeat(w io.Writer, label string, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	start := time.Now()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "%s … elapsed %s\n", label, time.Since(start).Round(time.Second))
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -50,6 +50,15 @@ func Budget() int {
 	return budget
 }
 
+// InUse returns the number of extra-worker slots currently granted (pool
+// occupancy). Observability sinks sample it to report how busy the shared
+// budget is; 0 means every fan-out site is currently running inline.
+func InUse() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return inUse
+}
+
 // TryAcquire grants up to k extra-worker slots without blocking and
 // returns how many were granted (possibly 0). Every granted slot must be
 // returned with Release.
