@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race bench bench-parallel repro examples vet vet-docs fmt clean
+.PHONY: build test test-race chaos bench bench-parallel repro examples vet vet-docs fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -14,7 +14,8 @@ vet:
 # Documentation gate: exported identifiers in the observability-critical
 # packages must carry godoc comments (see cmd/vetdocs).
 vet-docs:
-	go run ./cmd/vetdocs internal/obs internal/parallel internal/experiment
+	go run ./cmd/vetdocs internal/obs internal/parallel internal/experiment \
+	    internal/faultinject internal/metrics
 
 fmt:
 	gofmt -w .
@@ -29,6 +30,14 @@ test: vet-docs
 # Race-detector pass over the whole module (quality gate, DESIGN.md §6).
 test-race:
 	go test -race ./...
+
+# Fault-tolerance suite: the chaos harness plus every test that injects
+# faults through it, under the race detector (recovery and retry paths
+# run concurrently with pool workers).
+chaos:
+	go test -race ./internal/chaos/...
+	go test -race -run 'Chaos|Injected|Diverge|Panic|Retry|Cancel|Timeout|Recover' \
+	    ./internal/core/... ./internal/experiment/... ./internal/parallel/...
 
 # Full benchmark suite: regenerates every table/figure once (tiny scale).
 bench:

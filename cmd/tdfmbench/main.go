@@ -18,15 +18,26 @@
 // cell is recorded durably, and a killed run restarted with -resume skips
 // the recorded cells and produces byte-identical output. -pprof and
 // -trace write a CPU profile and a runtime execution trace.
+//
+// A first Ctrl-C (SIGINT) drains gracefully: cells already training run
+// to completion and are journaled, no new cells start, and the process
+// exits nonzero after printing the command that resumes the run. A
+// second Ctrl-C kills the process immediately. -retries re-runs cells
+// that failed transiently (divergence, panic, I/O, timeout) with the
+// same deterministic seed; -cell-timeout bounds each cell's training
+// time.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 
 	"tdfm/internal/datagen"
@@ -58,6 +69,8 @@ func run(args []string) error {
 		workersN  = fs.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		artifacts = fs.String("artifacts", "", "directory for the crash-safe run journal and per-cell prediction checkpoints")
 		resume    = fs.Bool("resume", false, "skip cells already recorded in the -artifacts journal (requires -artifacts)")
+		retries   = fs.Int("retries", 1, "extra attempts for cells that fail transiently (divergence, panic, I/O, timeout); retries reuse the cell's deterministic seed")
+		cellTO    = fs.Duration("cell-timeout", 0, "per-cell training time budget (0 = unlimited); timed-out cells count as transient failures")
 		pprofPath = fs.String("pprof", "", "write a CPU profile to this path")
 		tracePath = fs.String("trace", "", "write a runtime execution trace to this path")
 	)
@@ -74,6 +87,9 @@ func run(args []string) error {
 	}
 	if *resume && *artifacts == "" {
 		return fmt.Errorf("-resume requires -artifacts")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
 	if *pprofPath != "" {
 		f, err := os.Create(*pprofPath)
@@ -101,6 +117,31 @@ func run(args []string) error {
 	r := experiment.NewRunner(scale, *seed, *reps)
 	r.Workers = workers
 	r.EpochOverride = *epochs
+	r.Retries = *retries
+	r.CellTimeout = *cellTO
+
+	// A first SIGINT cancels the runner's context: in-flight cells drain
+	// and journal, no new cells start, and the run exits nonzero with a
+	// resume hint. Restoring default signal handling afterwards means a
+	// second SIGINT kills the process the usual way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+			signal.Stop(sig)
+			fmt.Fprintln(os.Stderr, "tdfmbench: interrupt — draining in-flight cells; press Ctrl-C again to kill")
+			if *artifacts != "" {
+				fmt.Fprintf(os.Stderr, "tdfmbench: completed cells are journaled; resume with:\n  %s\n", resumeCommand(args))
+			}
+		case <-ctx.Done():
+		}
+	}()
+	r.Ctx = ctx
 	// Journal warnings must reach the operator even without -progress;
 	// the progress sink (when enabled) additionally renders the periodic
 	// status line with ETA and pool occupancy.
@@ -264,6 +305,13 @@ func run(args []string) error {
 	for _, name := range names {
 		fmt.Fprintf(out, "===== %s =====\n", name)
 		if err := runOne(name); err != nil {
+			if experiment.IsCancelled(err) {
+				hint := ""
+				if *artifacts != "" {
+					hint = fmt.Sprintf("; resume with:\n  %s", resumeCommand(args))
+				}
+				return fmt.Errorf("%s: interrupted — in-flight cells were drained and journaled%s", name, hint)
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintln(out)
@@ -283,7 +331,31 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "tdfmbench: %d cell(s) failed after retries; the results above exclude them:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s: %s (%s, %d attempt(s)): %v\n",
+				f.Key, f.Reason, f.Class, f.Attempts, f.Err)
+		}
+		return fmt.Errorf("%d cell(s) failed; see the failure report above", len(fails))
+	}
 	return nil
+}
+
+// resumeCommand reconstructs the command line that resumes this run from
+// its -artifacts journal: the original arguments with -resume appended
+// (and any existing -resume flag dropped so it is not repeated).
+func resumeCommand(args []string) string {
+	parts := []string{"tdfmbench"}
+	for _, a := range args {
+		switch a {
+		case "-resume", "--resume", "-resume=true", "--resume=true":
+			continue
+		}
+		parts = append(parts, a)
+	}
+	parts = append(parts, "-resume")
+	return strings.Join(parts, " ")
 }
 
 func parseScale(s string) (datagen.Scale, error) {

@@ -93,6 +93,31 @@ func TestRunArtifactsAndResumeFlow(t *testing.T) {
 	}
 }
 
+func TestRunRejectsNegativeRetries(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-retries", "-1"}); err == nil {
+		t.Fatal("negative -retries accepted")
+	}
+}
+
+func TestRunRetryAndTimeoutFlagsParsed(t *testing.T) {
+	// A static experiment exercises the flag path without training.
+	if err := run([]string{"-exp", "table1", "-retries", "2", "-cell-timeout", "30s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeCommand(t *testing.T) {
+	got := resumeCommand([]string{"-exp", "fig3-mislabel", "-artifacts", "art", "-resume"})
+	want := "tdfmbench -exp fig3-mislabel -artifacts art -resume"
+	if got != want {
+		t.Fatalf("resumeCommand = %q, want %q", got, want)
+	}
+	// Without a prior -resume the flag is appended once.
+	if got := resumeCommand([]string{"-exp", "table4", "-artifacts", "art"}); got != "tdfmbench -exp table4 -artifacts art -resume" {
+		t.Fatalf("resumeCommand = %q", got)
+	}
+}
+
 func TestRunPprofAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	cpu, trc := dir+"/cpu.out", dir+"/trace.out"

@@ -10,12 +10,17 @@
 //
 // -progress prints a periodic heartbeat line while training runs; -pprof
 // and -trace write a CPU profile and a runtime execution trace.
+//
+// A first Ctrl-C (SIGINT) stops training cooperatively at the next batch
+// and exits nonzero; a second Ctrl-C kills the process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
@@ -98,6 +103,25 @@ func run(args []string) error {
 	}
 	parallel.SetBudget(workers)
 	tensor.SetParallelism(workers)
+
+	// A first SIGINT cancels training cooperatively at the next batch;
+	// restoring default signal handling afterwards means a second SIGINT
+	// kills the process the usual way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+			signal.Stop(sig)
+			fmt.Fprintln(os.Stderr, "trainmodel: interrupt — stopping at the next batch; press Ctrl-C again to kill")
+		case <-ctx.Done():
+		}
+	}()
+
 	cfg, ok := datagen.Presets(scale, *seed)[*dataset]
 	if !ok {
 		return fmt.Errorf("unknown dataset %q", *dataset)
@@ -112,7 +136,7 @@ func run(args []string) error {
 	}
 
 	// Golden model: baseline on clean data.
-	tcfg := core.Config{Arch: *model, Epochs: *epochs}
+	tcfg := core.Config{Arch: *model, Epochs: *epochs, Ctx: ctx}
 	fmt.Printf("training golden %s on clean %s (%d samples)…\n", *model, *dataset, train.Len())
 	stop := heartbeat("training golden " + *model)
 	golden, err := core.Baseline{}.Train(tcfg, core.TrainSet{Data: train}, xrand.New(*seed).Split("golden"))

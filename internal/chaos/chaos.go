@@ -1,0 +1,120 @@
+// Package chaos is the repository's fault-injection harness for its own
+// infrastructure — fitting, for a reproduction of a paper about injecting
+// faults. Production code declares named faultpoints (Check calls) at the
+// places where real deployments fail: the trainer's loss computation, the
+// experiment cell body, the journal append. Tests arm faults against those
+// points (a panic, an error, a NaN) scoped to specific runs by label, and
+// then assert that the engine isolates, classifies, retries, and reports
+// the failure instead of losing the grid.
+//
+// The harness is compiled into production binaries but costs one atomic
+// load per faultpoint while nothing is armed; it has no effect unless a
+// test (or an operator drill) calls Arm.
+//
+// Faultpoints currently declared:
+//
+//	core.trainLoop.loss      NaN/panic in the trainer's per-batch loss
+//	experiment.trainCell     panic/error around one experiment cell
+//	obs.journal.append       error on the journal's durable append
+//
+// Labels scope a fault to specific runs: the trainer passes its Config.Tag
+// (the experiment runner sets it to the cell key), the cell and journal
+// points pass the cell key. Matching is by substring; an empty pattern
+// matches every label.
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Action describes what an armed faultpoint does when it fires. Exactly
+// the fields relevant to the faultpoint are consulted: the trainer honours
+// NaN and Panic, the cell and journal points honour Panic and Err.
+type Action struct {
+	// Panic makes the faultpoint panic with a recognizable value.
+	Panic bool
+	// Err is returned by error-shaped faultpoints when non-nil.
+	Err error
+	// NaN makes numeric faultpoints corrupt their value to NaN.
+	NaN bool
+	// Times bounds how often the fault fires; 0 means every time. A fault
+	// with Times n disarms itself after n firings.
+	Times int
+}
+
+// ErrInjected is the base error of harness-injected failures: every
+// Action.Err used by the repository's chaos tests wraps it, so error
+// classification can be asserted without string matching.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// arming is one armed fault: a label pattern plus the action to take.
+type arming struct {
+	pattern string
+	act     Action
+	fired   int
+}
+
+var (
+	armed   atomic.Bool // fast path: no lock unless something is armed
+	mu      sync.Mutex
+	points  map[string][]*arming
+	firings int
+)
+
+// Arm installs a fault at the named point for every label containing
+// pattern (empty pattern matches all labels). Multiple faults may be armed
+// at one point; the first match wins. Arm is test infrastructure: call
+// Reset when done so later tests see a clean harness.
+func Arm(point, pattern string, act Action) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string][]*arming)
+	}
+	points[point] = append(points[point], &arming{pattern: pattern, act: act})
+	armed.Store(true)
+}
+
+// Reset disarms every faultpoint and zeroes the firing counter.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	firings = 0
+	armed.Store(false)
+}
+
+// Firings returns how many times any faultpoint has fired since the last
+// Reset (diagnostic, used by tests to assert a fault actually triggered).
+func Firings() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return firings
+}
+
+// Check reports the action armed at the named point for the given label,
+// or nil when nothing fires. When nothing is armed anywhere the cost is a
+// single atomic load, so faultpoints are safe on hot paths.
+func Check(point, label string) *Action {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, a := range points[point] {
+		if a.pattern != "" && !strings.Contains(label, a.pattern) {
+			continue
+		}
+		if a.act.Times > 0 && a.fired >= a.act.Times {
+			continue
+		}
+		a.fired++
+		firings++
+		act := a.act
+		return &act
+	}
+	return nil
+}

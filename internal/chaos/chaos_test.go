@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCheckDisarmed(t *testing.T) {
+	Reset()
+	if act := Check("any.point", "any-label"); act != nil {
+		t.Fatalf("disarmed harness fired: %+v", act)
+	}
+	if Firings() != 0 {
+		t.Fatalf("firings %d on a disarmed harness", Firings())
+	}
+}
+
+func TestArmMatchesByLabelSubstring(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", "cell-7", Action{NaN: true})
+	if Check("p", "cell-13") != nil {
+		t.Fatal("non-matching label fired")
+	}
+	if Check("other", "cell-7") != nil {
+		t.Fatal("other point fired")
+	}
+	act := Check("p", "grid/cell-7/rep0")
+	if act == nil || !act.NaN {
+		t.Fatalf("matching label did not fire: %+v", act)
+	}
+	if Firings() != 1 {
+		t.Fatalf("firings = %d, want 1", Firings())
+	}
+}
+
+func TestEmptyPatternMatchesEverything(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", "", Action{Panic: true})
+	if act := Check("p", "whatever"); act == nil || !act.Panic {
+		t.Fatal("empty pattern did not match")
+	}
+}
+
+func TestTimesBoundsFirings(t *testing.T) {
+	Reset()
+	defer Reset()
+	injected := errors.New("boom")
+	Arm("p", "", Action{Err: injected, Times: 2})
+	for i := 0; i < 2; i++ {
+		if act := Check("p", "x"); act == nil || act.Err != injected {
+			t.Fatalf("firing %d missing", i)
+		}
+	}
+	if Check("p", "x") != nil {
+		t.Fatal("Times-bounded fault fired a third time")
+	}
+	if Firings() != 2 {
+		t.Fatalf("firings = %d, want 2", Firings())
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", "a", Action{NaN: true, Times: 1})
+	Arm("p", "", Action{Panic: true})
+	if act := Check("p", "label-a"); act == nil || !act.NaN {
+		t.Fatal("first armed match did not win")
+	}
+	// The NaN fault is exhausted; the catch-all takes over.
+	if act := Check("p", "label-a"); act == nil || !act.Panic {
+		t.Fatal("exhausted fault not skipped")
+	}
+}
+
+func TestCheckConcurrent(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", "", Action{NaN: true, Times: 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				Check("p", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if Firings() != 100 {
+		t.Fatalf("firings = %d, want exactly 100", Firings())
+	}
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tdfm/internal/data"
@@ -53,6 +54,16 @@ type Config struct {
 	LR        float64
 	// WidthMult scales model capacity; 0 means 1.0.
 	WidthMult float64
+	// Ctx, when non-nil, cancels the training run cooperatively: the train
+	// loop checks it between batches and returns its error (the experiment
+	// runner derives it from per-cell timeouts and CLI interrupts).
+	// Cancellation never corrupts results — a cancelled run returns an
+	// error, never a partially trained classifier.
+	Ctx context.Context
+	// Tag is a diagnostic label for this run (the experiment runner sets it
+	// to the cell key). It scopes chaos faultpoints and log lines to a cell
+	// and never influences the computed results.
+	Tag string
 }
 
 // withDefaults resolves zero fields against the architecture registry.

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
+	"tdfm/internal/chaos"
 	"tdfm/internal/data"
 	"tdfm/internal/loss"
 	"tdfm/internal/nn"
@@ -57,8 +60,46 @@ type batchTargets func(batchX *tensor.Tensor, batchLabels []int) *tensor.Tensor
 // epochHook runs after each epoch with the epoch index and mean loss.
 type epochHook func(epoch int, meanLoss float64)
 
+// ErrDiverged marks a training run whose numerics diverged (NaN/Inf loss
+// or exploding gradient norm) and stayed divergent through every bounded
+// recovery attempt. Callers classify it as a transient failure: the
+// experiment runner retries the cell under its retry policy, and reports
+// "divergence" as the failure reason when retries are exhausted.
+var ErrDiverged = errors.New("training diverged")
+
+// Numerical-health policy of the trainer (§IV-B "garbage in, garbage out":
+// a silently diverged model produces garbage predictions, so divergence is
+// detected and surfaced, never returned as a trained classifier).
+const (
+	// maxRecoveries bounds the deterministic restart attempts after a
+	// detected divergence before the run is declared failed.
+	maxRecoveries = 2
+	// explodeGradNorm is the global gradient-norm threshold treated as
+	// divergence when gradient clipping is off (the first, unclipped
+	// attempt). Healthy runs in this repository stay orders of magnitude
+	// below it.
+	explodeGradNorm = 1e6
+	// recoveryClipNorm is the gradient clip applied during recovery
+	// attempts.
+	recoveryClipNorm = 1.0
+	// recoveryBackoff multiplies the learning rate per recovery attempt.
+	recoveryBackoff = 0.5
+)
+
 // trainLoop is the shared SGD loop: shuffle, batch, forward, loss,
-// backward, step. It returns an error if the loss diverges to NaN.
+// backward, step — guarded by a deterministic divergence detector. A
+// NaN/Inf loss or an exploding gradient norm triggers a bounded recovery:
+// the weights are restored to their initial snapshot and the run restarts
+// with gradient clipping, a backed-off learning rate, and a fresh shuffle
+// stream split from the same cell-keyed RNG. Detection and recovery are
+// pure functions of the (seed, cell key) randomness, so a recovered run is
+// byte-identical at any worker count. If the run is still divergent after
+// maxRecoveries restarts, trainLoop returns an error wrapping ErrDiverged.
+//
+// When cfg.Ctx is non-nil the loop also checks it between batches and
+// returns its error (context.Canceled / DeadlineExceeded) promptly, which
+// is how per-cell timeouts and CLI interrupts cancel a training run
+// cooperatively.
 func trainLoop(
 	net *nn.Sequential,
 	ds *data.Dataset,
@@ -77,22 +118,93 @@ func trainLoop(
 			return data.OneHot(labels, ds.NumClasses)
 		}
 	}
-	optimizer := opt.NewAdam(resolved.LR)
-	schedule := opt.CosineDecay{Total: resolved.Epochs}
-	shuffleRNG := rng.Split("shuffle")
-	for epoch := 0; epoch < resolved.Epochs; epoch++ {
-		optimizer.SetLR(resolved.LR * schedule.Factor(epoch))
+	// The initial weights are snapshotted once so every recovery attempt
+	// restarts from exactly the same state the first attempt saw.
+	var init *nn.Snapshot
+	var firstDiv error
+	for attempt := 0; attempt <= maxRecoveries; attempt++ {
+		lr, clip, shuffleLabel := resolved.LR, 0.0, "shuffle"
+		if attempt > 0 {
+			lr *= math.Pow(recoveryBackoff, float64(attempt))
+			clip = recoveryClipNorm
+			// Each restart draws a fresh, deterministically derived shuffle
+			// stream; the split order (attempt number) is fixed, never
+			// schedule-dependent.
+			shuffleLabel = fmt.Sprintf("shuffle-recover%d", attempt)
+			if err := init.Restore(net); err != nil {
+				return fmt.Errorf("core: restoring weights for divergence recovery: %w", err)
+			}
+			nn.ZeroGrads(net)
+		} else if maxRecoveries > 0 {
+			init = nn.TakeSnapshot(net)
+		}
+		div, err := runEpochs(net, ds, lossFn, resolved, lr, clip, rng.Split(shuffleLabel), targets, hook)
+		if err != nil {
+			return err
+		}
+		if div == nil {
+			return nil
+		}
+		if firstDiv == nil {
+			firstDiv = div
+		}
+	}
+	return fmt.Errorf("core: %v; still divergent after %d recovery attempts (grad clip %.3g, LR backoff ×%.3g): %w",
+		firstDiv, maxRecoveries, recoveryClipNorm, recoveryBackoff, ErrDiverged)
+}
+
+// runEpochs executes one full pass of the configured epochs at the given
+// learning rate and gradient clip (clip <= 0 disables clipping). It
+// returns a divergence observation in div (the attempt can be retried) or
+// a hard failure in err (cancellation; not retryable here).
+func runEpochs(
+	net *nn.Sequential,
+	ds *data.Dataset,
+	lossFn loss.Loss,
+	cfg Config,
+	lr, clip float64,
+	shuffleRNG *xrand.RNG,
+	targets batchTargets,
+	hook epochHook,
+) (div, err error) {
+	optimizer := opt.NewAdam(lr)
+	schedule := opt.CosineDecay{Total: cfg.Epochs}
+	params := net.Params()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		optimizer.SetLR(lr * schedule.Factor(epoch))
 		shuffled := ds.Shuffled(shuffleRNG)
 		totalLoss, batches := 0.0, 0
-		for start := 0; start < shuffled.Len(); start += resolved.BatchSize {
-			bx, by := shuffled.Batch(start, resolved.BatchSize)
+		for start := 0; start < shuffled.Len(); start += cfg.BatchSize {
+			if cfg.Ctx != nil {
+				if cerr := cfg.Ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("core: training interrupted at epoch %d: %w", epoch, cerr)
+				}
+			}
+			bx, by := shuffled.Batch(start, cfg.BatchSize)
 			logits := net.Forward(bx, true)
 			l, grad := lossFn.Forward(logits, targets(bx, by))
-			if l != l { // NaN
-				return fmt.Errorf("core: loss diverged to NaN at epoch %d", epoch)
+			if act := chaos.Check("core.trainLoop.loss", cfg.Tag); act != nil {
+				if act.Panic {
+					panic(fmt.Sprintf("chaos: injected trainer panic (tag %q)", cfg.Tag))
+				}
+				if act.NaN {
+					l = math.NaN()
+				}
+			}
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				return fmt.Errorf("loss diverged to %v at epoch %d", l, epoch), nil
 			}
 			net.Backward(grad)
-			optimizer.Step(net.Params())
+			norm := opt.ClipGradNorm(params, clip)
+			// With clipping on, any finite explosion is contained by the
+			// rescale; only a non-finite norm (NaN/Inf gradients) forces a
+			// restart. Without clipping, a finite explosion past the
+			// threshold is caught before it degrades into NaN.
+			if math.IsInf(norm, 0) || (clip <= 0 && norm > explodeGradNorm) {
+				nn.ZeroGrads(net)
+				return fmt.Errorf("gradient norm %.3g exploded at epoch %d", norm, epoch), nil
+			}
+			optimizer.Step(params)
 			nn.ZeroGrads(net)
 			totalLoss += l
 			batches++
@@ -101,7 +213,7 @@ func trainLoop(
 			hook(epoch, totalLoss/float64(batches))
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // Accuracy returns the fraction of test examples classified correctly.

@@ -78,11 +78,13 @@ func (d *Dataset) Save(path string) error {
 }
 
 // WriteFileAtomic writes a file by streaming through write into a
-// temporary file in the destination directory, syncing it, and renaming it
-// over path. Readers therefore never observe a partially written file: the
+// temporary file in the destination directory, syncing it, renaming it
+// over path, and finally syncing the directory so the rename itself is
+// durable. Readers therefore never observe a partially written file: the
 // rename either installs the complete content or leaves the previous file
-// (or absence) intact. The experiment journal uses this for per-cell
-// prediction checkpoints so a crash mid-write cannot corrupt a checkpoint.
+// (or absence) intact, even across a power failure. The experiment journal
+// uses this for per-cell prediction checkpoints so a crash mid-write
+// cannot corrupt a checkpoint.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -112,6 +114,20 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		return fmt.Errorf("data: installing %s: %w", path, err)
 	}
 	tmp = nil
+	// The rename only becomes durable once the directory entry is on
+	// disk; without this a power failure after the rename could resurrect
+	// the old file (or its absence).
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("data: opening directory %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("data: syncing directory %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("data: closing directory %s: %w", dir, err)
+	}
 	return nil
 }
 

@@ -136,6 +136,32 @@ func TestWriteFileAtomicFailureLeavesNoFile(t *testing.T) {
 	}
 }
 
+func TestWriteFileAtomicFailureKeepsExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("destination disturbed by failed write: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("failed write left temp files behind: %v", entries)
+	}
+}
+
 func TestWriteFileAtomicReplacesExisting(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.txt")
 	for _, content := range []string{"first", "second"} {

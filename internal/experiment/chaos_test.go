@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/obs"
+)
+
+// injectedIOErr builds the environment-shaped error the chaos tests inject.
+func injectedIOErr(what string) error {
+	return fmt.Errorf("%s: %w", what, chaos.ErrInjected)
+}
+
+// TestGridSurvivesInjectedFaultsAndResumes is the PR's acceptance test: a
+// grid with a panic, a persistent NaN divergence, and an I/O fault injected
+// into three distinct cells must complete with exactly those cells reported
+// failed (classified), and a -resume-style rerun with the faults disabled
+// must retrain only the failed cells and produce a CSV byte-identical to a
+// fault-free run.
+func TestGridSurvivesInjectedFaultsAndResumes(t *testing.T) {
+	faultFree := resumeGrid(t, resumeRunner(t, ""))
+
+	dir := t.TempDir()
+	r := resumeRunner(t, dir)
+	specs := []FaultSpec{{Type: faultinject.Remove, Rate: 0.3}}
+	panicKey := r.CellKey("pneumonialike", "ls", "convnet", specs, 0)
+	nanKey := r.CellKey("pneumonialike", "rl", "convnet", specs, 0)
+	ioKey := r.CellKey("pneumonialike", "kd", "convnet", specs, 0)
+	chaos.Reset()
+	defer chaos.Reset()
+	chaos.Arm("experiment.trainCell", panicKey, chaos.Action{Panic: true})
+	chaos.Arm("core.trainLoop.loss", nanKey, chaos.Action{NaN: true})
+	chaos.Arm("experiment.trainCell", ioKey, chaos.Action{Err: injectedIOErr("disk detached")})
+
+	p, err := r.RunPanel("pneumonialike", "convnet", faultinject.Remove, []float64{0.3})
+	if err != nil {
+		t.Fatalf("grid must complete with partial results, got: %v", err)
+	}
+	for tech, wantFailed := range map[string]int{"base": 0, "ls": 1, "rl": 1, "kd": 1, "ens": 0} {
+		if got := p.Cells[tech][0.3].Failed; got != wantFailed {
+			t.Errorf("%s failed reps = %d, want %d", tech, got, wantFailed)
+		}
+	}
+	want := map[string]string{panicKey: ReasonPanic, nanKey: ReasonDivergence, ioKey: ReasonIO}
+	fails := r.Failures()
+	if len(fails) != len(want) {
+		t.Fatalf("got %d failures, want %d:\n%v", len(fails), len(want), fails)
+	}
+	for _, ce := range fails {
+		if want[ce.Key] != ce.Reason {
+			t.Errorf("cell %s classified %q, want %q", ce.Key, ce.Reason, want[ce.Key])
+		}
+		if ce.Class != ClassTransient {
+			t.Errorf("cell %s class %q, want %q", ce.Key, ce.Class, ClassTransient)
+		}
+		if ce.Reason == ReasonPanic && len(ce.Stack) == 0 {
+			t.Error("recovered panic lost its stack")
+		}
+	}
+
+	// The exported CSV marks the failed cells instead of fabricating numbers.
+	fig := &Figure3Result{FaultType: faultinject.Remove, Panels: []*Panel{p}}
+	var csv strings.Builder
+	if err := fig.Table().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() == faultFree {
+		t.Fatal("CSV with failed cells must differ from the fault-free run")
+	}
+
+	// Resume with the faults disabled: only the three failed cells retrain,
+	// and the results are byte-identical to an uninterrupted fault-free run.
+	chaos.Reset()
+	resumed := resumeRunner(t, dir)
+	restored, _, err := resumed.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 3 { // golden base, base@0.3, ens@0.3 succeeded and journaled
+		t.Fatalf("restored %d cells, want the 3 successful ones", restored)
+	}
+	var mu sync.Mutex
+	var retrained []string
+	resumed.Sink = obs.SinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindCellStart {
+			mu.Lock()
+			retrained = append(retrained, e.Key)
+			mu.Unlock()
+		}
+	})
+	if got := resumeGrid(t, resumed); got != faultFree {
+		t.Fatalf("resumed grid differs from fault-free run:\n%s\nvs\n%s", got, faultFree)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(retrained) != len(want) {
+		t.Fatalf("resumed run retrained %d cells (%v), want only the %d failed ones",
+			len(retrained), retrained, len(want))
+	}
+	for _, k := range retrained {
+		if _, ok := want[k]; !ok {
+			t.Errorf("resumed run needlessly retrained %s", k)
+		}
+	}
+	if left := resumed.Failures(); len(left) != 0 {
+		t.Fatalf("failures survived a clean rerun: %v", left)
+	}
+}
+
+// TestRetryRecoversTransientFaultByteIdentical: a transient environmental
+// fault that clears on the second attempt must be absorbed by the retry
+// policy, and the retried cell's predictions must be byte-identical to a
+// fault-free run (attempts reuse the identical cell-keyed randomness).
+func TestRetryRecoversTransientFaultByteIdentical(t *testing.T) {
+	clean := fastRunner(1)
+	want, _, err := clean.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := fastRunner(1)
+	r.Retries = 1
+	key := r.CellKey("pneumonialike", "base", "convnet", nil, 0)
+	chaos.Reset()
+	defer chaos.Reset()
+	chaos.Arm("experiment.trainCell", key, chaos.Action{Err: injectedIOErr("flaky read"), Times: 1})
+	var mu sync.Mutex
+	retries := 0
+	r.Sink = obs.SinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindCellRetry {
+			mu.Lock()
+			retries++
+			mu.Unlock()
+		}
+	})
+	got, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatalf("retry did not absorb the transient fault: %v", err)
+	}
+	if retries != 1 {
+		t.Fatalf("observed %d retry events, want 1", retries)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("prediction lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("retried cell is not byte-identical to the fault-free run")
+		}
+	}
+	if fails := r.Failures(); len(fails) != 0 {
+		t.Fatalf("a recovered cell must not be recorded failed: %v", fails)
+	}
+}
+
+// TestPermanentFailureNotRetried: configuration errors are classified
+// permanent, never retried, and stay memoized so dependent measurements
+// report the same error without retraining.
+func TestPermanentFailureNotRetried(t *testing.T) {
+	r := fastRunner(1)
+	r.Retries = 3
+	var mu sync.Mutex
+	starts := 0
+	r.Sink = obs.SinkFunc(func(e obs.Event) {
+		if e.Kind == obs.KindCellStart {
+			mu.Lock()
+			starts++
+			mu.Unlock()
+		}
+	})
+	_, _, err := r.Predictions("pneumonialike", "base", "nosucharch", nil, 0)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T is not a *CellError: %v", err, err)
+	}
+	if ce.Reason != ReasonConfig || ce.Class != ClassPermanent || ce.Attempts != 1 {
+		t.Fatalf("bad classification: %+v", ce)
+	}
+	_, _, err2 := r.Predictions("pneumonialike", "base", "nosucharch", nil, 0)
+	if !errors.Is(err2, ce) && err2.Error() != err.Error() {
+		t.Fatalf("memoized permanent failure changed: %v vs %v", err2, err)
+	}
+	if starts != 1 {
+		t.Fatalf("permanent failure trained %d times, want 1 (no retries, sticky memo)", starts)
+	}
+	if fails := r.Failures(); len(fails) != 1 || fails[0].Key != ce.Key {
+		t.Fatalf("failure report %v, want exactly the config failure", fails)
+	}
+}
+
+// TestCancellationGatesScheduling: a cancelled runner refuses to start new
+// cells (nothing cached, nothing recorded failed — they simply did not
+// run) while cached cells keep serving.
+func TestCancellationGatesScheduling(t *testing.T) {
+	r := fastRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	r.Ctx = ctx
+	cached, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, _, err := r.Predictions("pneumonialike", "ls", "convnet", nil, 0); !IsCancelled(err) {
+		t.Fatalf("cancelled runner scheduled new work: %v", err)
+	}
+	if got := r.CacheSize(); got != 1 {
+		t.Fatalf("cache size %d after cancelled schedule, want 1", got)
+	}
+	if fails := r.Failures(); len(fails) != 0 {
+		t.Fatalf("cancelled cells recorded as failures: %v", fails)
+	}
+	again, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatalf("cached cell refused after cancel: %v", err)
+	}
+	for i := range again {
+		if again[i] != cached[i] {
+			t.Fatal("cached predictions changed after cancellation")
+		}
+	}
+	if _, err := r.MeasureAD("pneumonialike", "ls", "convnet", nil); !IsCancelled(err) {
+		t.Fatalf("MeasureAD must abort on cancellation, got: %v", err)
+	}
+}
+
+// TestCellTimeoutClassifiedTransient: a cell over its time budget fails
+// with a timeout-classified transient error and is evicted from the cache
+// so a rerun (with a saner budget) can recompute it.
+func TestCellTimeoutClassifiedTransient(t *testing.T) {
+	r := fastRunner(1)
+	r.CellTimeout = time.Nanosecond
+	_, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %T is not a *CellError: %v", err, err)
+	}
+	if ce.Reason != ReasonTimeout || ce.Class != ClassTransient {
+		t.Fatalf("bad timeout classification: %+v", ce)
+	}
+	if got := r.CacheSize(); got != 0 {
+		t.Fatalf("timed-out cell stayed cached (size %d)", got)
+	}
+	r.CellTimeout = 0
+	if _, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0); err != nil {
+		t.Fatalf("cell did not recover once the budget was lifted: %v", err)
+	}
+}
+
+// TestWorkerCountInvariantThroughRecoveryAndRetry: with a divergence
+// recovery in one cell and a retried transient fault in another, the
+// serial (Workers=1) and parallel schedules must produce byte-identical
+// predictions for every cell.
+func TestWorkerCountInvariantThroughRecoveryAndRetry(t *testing.T) {
+	specs := []FaultSpec{{Type: faultinject.Mislabel, Rate: 0.3}}
+	run := func(workers int) map[string][]int {
+		r := fastRunner(2)
+		r.Workers = workers
+		r.Retries = 1
+		nanKey := r.CellKey("pneumonialike", "rl", "convnet", specs, 0)
+		ioKey := r.CellKey("pneumonialike", "ls", "convnet", specs, 1)
+		chaos.Reset()
+		chaos.Arm("core.trainLoop.loss", nanKey, chaos.Action{NaN: true, Times: 1})
+		chaos.Arm("experiment.trainCell", ioKey, chaos.Action{Err: injectedIOErr("blip"), Times: 1})
+		out := make(map[string][]int)
+		for _, tech := range []string{"rl", "ls"} {
+			cell, err := r.MeasureAD("pneumonialike", tech, "convnet", specs)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, tech, err)
+			}
+			if cell.Failed != 0 {
+				t.Fatalf("workers=%d %s: %d reps failed despite recovery/retry", workers, tech, cell.Failed)
+			}
+			for rep := 0; rep < 2; rep++ {
+				pred, _, err := r.Predictions("pneumonialike", tech, "convnet", specs, rep)
+				if err != nil {
+					t.Fatalf("workers=%d %s rep%d: %v", workers, tech, rep, err)
+				}
+				out[fmt.Sprintf("%s/rep%d", tech, rep)] = pred
+			}
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	chaos.Reset()
+	for key, want := range serial {
+		got := parallel[key]
+		if len(got) != len(want) {
+			t.Fatalf("%s: prediction lengths differ", key)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: serial and parallel schedules diverge through recovery/retry", key)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/core"
+	"tdfm/internal/parallel"
+)
+
+// ErrorClass partitions cell failures for the retry policy.
+type ErrorClass string
+
+// The three failure classes of the engine's error taxonomy.
+const (
+	// ClassPermanent marks failures retrying cannot fix (bad configuration:
+	// unknown dataset, technique, or architecture; invalid fault spec). They
+	// stay memoized so a grid reports the same error for every dependent
+	// measurement without re-attempting the work.
+	ClassPermanent ErrorClass = "permanent"
+	// ClassTransient marks failures a retry may fix (panic, numerical
+	// divergence, environmental I/O). Transient failures are evicted from
+	// the memo cache so a later call — a retry in this run, or a -resume
+	// rerun — trains the cell fresh.
+	ClassTransient ErrorClass = "transient"
+	// ClassCancelled marks cells stopped by cooperative cancellation (CLI
+	// interrupt or per-cell timeout via context). Cancelled cells are not
+	// failures of the cell itself: they are not retried here and the grid
+	// aborts, leaving the cells for a -resume rerun.
+	ClassCancelled ErrorClass = "cancelled"
+)
+
+// Failure reasons reported by the engine (CellError.Reason).
+const (
+	// ReasonConfig is a permanent configuration error.
+	ReasonConfig = "config"
+	// ReasonDivergence is a training run that stayed numerically divergent
+	// through the trainer's bounded recovery.
+	ReasonDivergence = "divergence"
+	// ReasonPanic is a panic recovered from the cell's training.
+	ReasonPanic = "panic"
+	// ReasonIO is an environmental I/O failure during the cell.
+	ReasonIO = "io"
+	// ReasonTimeout is a cell that exceeded the per-cell time budget.
+	ReasonTimeout = "timeout"
+	// ReasonCancelled is a cell stopped by run-level cancellation.
+	ReasonCancelled = "cancelled"
+)
+
+// CellError is the structured failure of one experiment cell: what failed
+// (Key), why (Reason and the wrapped Err), how the retry policy treats it
+// (Class), and how many attempts were made. For recovered panics, Stack
+// holds the panicking goroutine's stack.
+type CellError struct {
+	// Key is the failed cell's cache key.
+	Key string
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Class drives the retry policy and cache stickiness.
+	Class ErrorClass
+	// Attempts is how many times the cell was trained before giving up.
+	Attempts int
+	// Stack is the recovered panic stack (nil unless Reason is ReasonPanic).
+	Stack []byte
+	// Err is the underlying error.
+	Err error
+}
+
+// Error formats the failure with its classification.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %s failed (%s, %s, %d attempt(s)): %v",
+		e.Key, e.Reason, e.Class, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// classifyCellError wraps err into a CellError using sentinel and type
+// checks — never string matching. Unknown errors classify as permanent
+// configuration problems: retrying an unrecognized failure would burn the
+// retry budget on something a rerun cannot fix.
+func classifyCellError(key string, attempts int, err error) *CellError {
+	ce := &CellError{Key: key, Attempts: attempts, Err: err}
+	var pe *parallel.PanicError
+	switch {
+	case errors.As(err, &pe):
+		ce.Reason, ce.Class, ce.Stack = ReasonPanic, ClassTransient, pe.Stack
+	case errors.Is(err, core.ErrDiverged):
+		ce.Reason, ce.Class = ReasonDivergence, ClassTransient
+	case errors.Is(err, context.DeadlineExceeded):
+		ce.Reason, ce.Class = ReasonTimeout, ClassTransient
+	case errors.Is(err, context.Canceled):
+		ce.Reason, ce.Class = ReasonCancelled, ClassCancelled
+	case errors.Is(err, chaos.ErrInjected):
+		ce.Reason, ce.Class = ReasonIO, ClassTransient
+	default:
+		ce.Reason, ce.Class = ReasonConfig, ClassPermanent
+	}
+	return ce
+}
+
+// IsCancelled reports whether err is (or wraps) a cancelled cell failure,
+// which grids treat as "stop scheduling" rather than "cell failed".
+func IsCancelled(err error) bool {
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return ce.Class == ClassCancelled
+	}
+	return errors.Is(err, context.Canceled)
+}

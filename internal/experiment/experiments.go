@@ -337,6 +337,9 @@ func (r *Runner) freshOverheadRunner() *Runner {
 	fresh.EpochOverride = r.EpochOverride
 	fresh.WidthMult = r.WidthMult
 	fresh.Workers = r.Workers
+	fresh.Retries = r.Retries
+	fresh.CellTimeout = r.CellTimeout
+	fresh.Ctx = r.Ctx
 	return fresh
 }
 

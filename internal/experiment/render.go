@@ -46,7 +46,11 @@ func RenderPanel(w io.Writer, p *Panel) {
 		fmt.Fprintf(w, " %d%% faults:\n", int(rate*100+0.5))
 		for _, tech := range p.Techniques() {
 			cell := p.Cells[tech][rate]
-			fmt.Fprintf(w, "  %s\n", report.Bar(displayName(tech), cell.AD.Mean, cell.AD.CI95, 40))
+			line := report.Bar(displayName(tech), cell.AD.Mean, cell.AD.CI95, 40)
+			if cell.Failed > 0 {
+				line += fmt.Sprintf("  [FAILED %d/%d reps]", cell.Failed, cell.Failed+cell.AD.N)
+			}
+			fmt.Fprintf(w, "  %s\n", line)
 		}
 	}
 }
@@ -73,7 +77,7 @@ func (f *Figure4Result) Render(w io.Writer) {
 func panelTable(title string, panels []*Panel) *report.Table {
 	t := &report.Table{
 		Title:   title,
-		Headers: []string{"dataset", "model", "fault", "rate", "technique", "ad_mean", "ad_ci95", "acc_mean"},
+		Headers: []string{"dataset", "model", "fault", "rate", "technique", "ad_mean", "ad_ci95", "acc_mean", "reps", "failed_reps"},
 	}
 	for _, p := range panels {
 		for _, rate := range p.Rates {
@@ -83,7 +87,9 @@ func panelTable(title string, panels []*Panel) *report.Table {
 					fmt.Sprintf("%g", rate), tech,
 					fmt.Sprintf("%.4f", cell.AD.Mean),
 					fmt.Sprintf("%.4f", cell.AD.CI95),
-					fmt.Sprintf("%.4f", cell.Accuracy.Mean))
+					fmt.Sprintf("%.4f", cell.Accuracy.Mean),
+					fmt.Sprintf("%d", cell.AD.N),
+					fmt.Sprintf("%d", cell.Failed))
 			}
 		}
 	}
@@ -106,19 +112,27 @@ func (t4 *Table4Result) Table() *report.Table {
 		Title:   "Table IV: model accuracies when trained without fault injection",
 		Headers: append([]string{"Model", "Dataset"}, displayAll(t4.Techniques)...),
 	}
+	failures := false
 	for _, m := range t4.Models {
 		for _, ds := range t4.Datasets {
 			row := []string{m, displayName(ds)}
 			best := ""
 			bestV := -1.0
 			for _, tech := range t4.Techniques {
-				v := t4.Acc[m][ds][tech].Mean
-				if v > bestV {
-					bestV, best = v, tech
+				s := t4.Acc[m][ds][tech]
+				if s.N > 0 && s.Mean > bestV {
+					bestV, best = s.Mean, tech
 				}
 			}
 			for _, tech := range t4.Techniques {
-				cell := report.PercentCell(t4.Acc[m][ds][tech].Mean)
+				s := t4.Acc[m][ds][tech]
+				if s.N == 0 {
+					// Every repetition of this configuration failed.
+					failures = true
+					row = append(row, "FAILED")
+					continue
+				}
+				cell := report.PercentCell(s.Mean)
 				if tech == best {
 					cell += "*"
 				}
@@ -128,6 +142,9 @@ func (t4 *Table4Result) Table() *report.Table {
 		}
 	}
 	t.Notes = append(t.Notes, "* highest accuracy in the configuration (emphasis in the paper)")
+	if failures {
+		t.Notes = append(t.Notes, "FAILED: every repetition of the configuration failed; see the run's failure report")
+	}
 	return t
 }
 

@@ -28,6 +28,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tdfm/internal/chaos"
 	"tdfm/internal/core"
 	"tdfm/internal/data"
 	"tdfm/internal/datagen"
@@ -82,10 +84,28 @@ type Runner struct {
 	// observe only: they are invoked outside result-bearing computation
 	// and must be safe for concurrent use.
 	Sink obs.Sink
+	// Retries is how many extra training attempts a transiently failed
+	// cell (panic, divergence, environmental I/O, timeout) gets before the
+	// failure is recorded. Permanent (configuration) failures are never
+	// retried. Every attempt derives the identical cell-keyed randomness,
+	// so a successful retry is byte-identical to a fault-free run.
+	Retries int
+	// CellTimeout, when > 0, bounds each cell's training wall-clock; a
+	// cell over budget fails with a timeout-classified error. The timeout
+	// context is independent of Ctx: run-level cancellation drains
+	// in-flight cells rather than aborting them.
+	CellTimeout time.Duration
+	// Ctx, when non-nil, cancels the run cooperatively. It gates
+	// scheduling only: cells not yet started return a cancelled cell
+	// error (nothing cached, nothing recorded as failed), while in-flight
+	// cells run to completion and journal normally, so an interrupted run
+	// resumes without losing finished work.
+	Ctx context.Context
 
 	mu       sync.Mutex
 	datasets map[string]*dsEntry
 	preds    map[string]*predEntry
+	failures map[string]*CellError
 }
 
 // dsEntry is a single-flight memo slot for a generated dataset pair.
@@ -112,6 +132,7 @@ func NewRunner(scale datagen.Scale, seed uint64, reps int) *Runner {
 		CleanFrac: 0.1,
 		datasets:  make(map[string]*dsEntry),
 		preds:     make(map[string]*predEntry),
+		failures:  make(map[string]*CellError),
 	}
 }
 
@@ -187,6 +208,14 @@ func (r *Runner) cellKey(ds, tech, arch string, specs []FaultSpec, rep int) stri
 	return fmt.Sprintf("%s|%s|%s|%s|rep%d|scale%d|seed%d|ep%d", ds, tech, arch, specsKey(specs), rep, r.Scale, r.Seed, r.EpochOverride)
 }
 
+// CellKey returns the cache key identifying one cell's training run.
+// Chaos tests use it to target faults at specific cells, and CLIs use it
+// to report failures; the format is stable within one binary, not a
+// persistence API.
+func (r *Runner) CellKey(ds, tech, arch string, specs []FaultSpec, rep int) string {
+	return r.cellKey(ds, tech, arch, specs, rep)
+}
+
 // cellRNG derives the deterministic random stream of a cell. The stream
 // depends only on (root seed, cell key): no matter which worker trains the
 // cell, or in what order, the cell sees identical randomness.
@@ -197,8 +226,16 @@ func (r *Runner) cellRNG(key string) *xrand.RNG {
 // Predictions trains (or recalls) the given technique/architecture on ds
 // with the given faults injected, and returns test-set predictions plus the
 // training duration of the original (uncached) run. Concurrent calls for
-// the same cell block on the one in-flight training (single flight);
-// failures are memoized alongside successes so a failing cell trains once.
+// the same cell block on the one in-flight training (single flight).
+//
+// Failures are classified (see CellError) and handled by class: permanent
+// configuration errors stay memoized so the cell reports the same error
+// everywhere without retraining; transient failures (panic, divergence,
+// I/O, timeout) are retried up to Retries extra attempts and, if still
+// failing, evicted from the memo cache so a later call — or a -resume
+// rerun — trains the cell fresh; cancellation caches and records nothing.
+// Every attempt derives the identical cell-keyed randomness, so a
+// successful retry is byte-identical to a fault-free run.
 func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
 	key := r.cellKey(ds, tech, arch, specs, rep)
 	r.mu.Lock()
@@ -208,14 +245,24 @@ func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) 
 		<-e.done
 		return e.pred, e.trainDur, e.err
 	}
+	if r.Ctx != nil && r.Ctx.Err() != nil {
+		// Cancellation gates scheduling only. Nothing is cached or recorded
+		// as failed: the cell simply did not run, and a resumed run
+		// recomputes it.
+		r.mu.Unlock()
+		ce := classifyCellError(key, 0, r.Ctx.Err())
+		r.emit(obs.Event{Kind: obs.KindCellCancelled, Key: key, Err: ce})
+		return nil, 0, ce
+	}
 	e := &predEntry{done: make(chan struct{})}
 	r.preds[key] = e
 	r.mu.Unlock()
 	defer close(e.done)
 	r.emit(obs.Event{Kind: obs.KindCacheMiss, Key: key})
 	r.emit(obs.Event{Kind: obs.KindCellStart, Key: key})
-	e.pred, e.trainDur, e.err = r.trainCell(key, ds, tech, arch, specs, rep)
+	e.pred, e.trainDur, e.err = r.trainCellWithRetry(key, ds, tech, arch, specs, rep)
 	r.emit(obs.Event{Kind: obs.KindCellFinish, Key: key, Dur: e.trainDur, Err: e.err})
+	r.recordOutcome(key, e)
 	if e.err == nil && r.Journal != nil {
 		rec := obs.Record{
 			Key:       key,
@@ -232,8 +279,97 @@ func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) 
 	return e.pred, e.trainDur, e.err
 }
 
-// trainCell performs the uncached work of Predictions.
-func (r *Runner) trainCell(key, ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
+// recordOutcome applies the failure-class policy to a finished cell: track
+// the failure (clearing it on a later success), evict non-permanent
+// failures from the memo cache, and emit the classified failure event.
+func (r *Runner) recordOutcome(key string, e *predEntry) {
+	r.mu.Lock()
+	if e.err == nil {
+		delete(r.failures, key)
+		r.mu.Unlock()
+		return
+	}
+	ce, ok := e.err.(*CellError)
+	if !ok {
+		ce = classifyCellError(key, 1, e.err)
+	}
+	if ce.Class != ClassPermanent && r.preds[key] == e {
+		delete(r.preds, key)
+	}
+	if ce.Class != ClassCancelled {
+		if r.failures == nil {
+			r.failures = make(map[string]*CellError)
+		}
+		r.failures[key] = ce
+	}
+	r.mu.Unlock()
+	switch ce.Reason {
+	case ReasonPanic:
+		r.emit(obs.Event{Kind: obs.KindCellPanic, Key: key, Err: ce})
+	case ReasonDivergence:
+		r.emit(obs.Event{Kind: obs.KindCellDiverged, Key: key, Err: ce})
+	case ReasonCancelled:
+		r.emit(obs.Event{Kind: obs.KindCellCancelled, Key: key, Err: ce})
+	}
+}
+
+// Failures returns the classified failure of every cell that definitively
+// failed (after retries), sorted by cell key. Cells whose later retraining
+// succeeded are excluded; cancelled cells were never failures. CLIs use
+// this for the end-of-run failure report and the nonzero exit code.
+func (r *Runner) Failures() []*CellError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*CellError, 0, len(r.failures))
+	for _, ce := range r.failures {
+		out = append(out, ce)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// trainCellWithRetry runs trainCell under the retry policy: transient
+// failures get up to Retries extra attempts (each reusing the identical
+// cell-keyed randomness), permanent and cancelled failures return
+// immediately. The returned error, if any, is a *CellError.
+func (r *Runner) trainCellWithRetry(key, ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
+	var total time.Duration
+	for attempt := 1; ; attempt++ {
+		pred, dur, err := r.trainCell(key, ds, tech, arch, specs, rep)
+		total += dur
+		if err == nil {
+			return pred, total, nil
+		}
+		ce := classifyCellError(key, attempt, err)
+		if ce.Class != ClassTransient || attempt > r.Retries {
+			return nil, total, ce
+		}
+		r.emit(obs.Event{Kind: obs.KindCellRetry, Key: key, N: attempt, Err: ce})
+	}
+}
+
+// trainCell performs the uncached work of one Predictions attempt. A panic
+// anywhere in the cell — the fault injector, the trainer, a technique, or
+// prediction — is recovered into an error carrying the panicking
+// goroutine's stack, so one broken cell can never take down the rest of
+// the grid.
+func (r *Runner) trainCell(key, ds, tech, arch string, specs []FaultSpec, rep int) (pred []int, dur time.Duration, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pred, dur = nil, 0
+			err = fmt.Errorf("experiment: %s: %w", key, parallel.AsPanicError(v))
+		}
+	}()
+	// Chaos faultpoint: environment-shaped failures (panic or error) scoped
+	// to this cell's key.
+	if act := chaos.Check("experiment.trainCell", key); act != nil {
+		if act.Panic {
+			panic(fmt.Sprintf("chaos: injected cell panic (%s)", key))
+		}
+		if act.Err != nil {
+			return nil, 0, fmt.Errorf("experiment: %s: %w", key, act.Err)
+		}
+	}
 	train, test, err := r.Dataset(ds)
 	if err != nil {
 		return nil, 0, err
@@ -260,15 +396,22 @@ func (r *Runner) trainCell(key, ds, tech, arch string, specs []FaultSpec, rep in
 		}
 	}
 
+	cfg := core.Config{Arch: arch, Epochs: r.EpochOverride, WidthMult: r.WidthMult, Tag: key}
+	if r.CellTimeout > 0 {
+		// The per-cell budget is independent of r.Ctx on purpose: run-level
+		// cancellation drains in-flight cells instead of aborting them.
+		ctx, cancel := context.WithTimeout(context.Background(), r.CellTimeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
 	start := time.Now()
-	clf, err := technique.Train(
-		core.Config{Arch: arch, Epochs: r.EpochOverride, WidthMult: r.WidthMult},
+	clf, err := technique.Train(cfg,
 		core.TrainSet{Data: faulty, CleanIndices: cleanIdx}, rng)
 	if err != nil {
 		return nil, 0, fmt.Errorf("experiment: %s: %w", key, err)
 	}
-	dur := time.Since(start)
-	pred := clf.Predict(test.X)
+	dur = time.Since(start)
+	pred = clf.Predict(test.X)
 
 	if r.Progress != nil {
 		// Serialize concurrent cells' progress lines through the cache mutex.
@@ -336,12 +479,16 @@ func (r *Runner) warm(cells []cellReq) {
 	work := func() {
 		defer wg.Done()
 		for {
+			if r.Ctx != nil && r.Ctx.Err() != nil {
+				return // cancelled: stop scheduling, in-flight cells drain
+			}
 			i := int(next.Add(1)) - 1
 			if i >= len(uniq) {
 				return
 			}
 			c := uniq[i]
-			// Errors are memoized; the serial pass re-reports them.
+			// Errors are classified and tracked by Predictions; the serial
+			// measurement pass re-reports them.
 			_, _, _ = r.Predictions(c.ds, c.tech, c.arch, c.specs, c.rep)
 		}
 	}
@@ -381,12 +528,23 @@ type Cell struct {
 	AD       metrics.Summary // accuracy delta vs the golden model
 	Accuracy metrics.Summary // absolute test accuracy
 	TrainDur time.Duration   // summed uncached training time
+
+	// Failed counts repetitions that produced no measurement because the
+	// technique cell or its golden counterpart failed; the summaries above
+	// cover only the surviving repetitions (AD.N of r.Reps). Classified
+	// failure details are available from Runner.Failures.
+	Failed int
 }
 
 // MeasureAD runs the configuration for every repetition and summarizes the
 // AD and accuracy. Repetitions train concurrently on the worker pool; the
 // summary loop then reads the memo cache in repetition order, so the
 // summarized series is identical to the serial schedule's.
+//
+// A repetition whose technique cell or golden counterpart fails is counted
+// in Cell.Failed and skipped — the grid continues and the summaries cover
+// the surviving repetitions. Only cancellation aborts the measurement with
+// an error, leaving the remaining cells for a resumed run.
 func (r *Runner) MeasureAD(ds, tech, arch string, specs []FaultSpec) (Cell, error) {
 	cell := Cell{Dataset: ds, Technique: tech, Arch: arch, Specs: specs}
 	_, test, err := r.Dataset(ds)
@@ -399,11 +557,19 @@ func (r *Runner) MeasureAD(ds, tech, arch string, specs []FaultSpec) (Cell, erro
 	for rep := 0; rep < r.Reps; rep++ {
 		golden, err := r.Golden(ds, arch, rep)
 		if err != nil {
-			return cell, err
+			if IsCancelled(err) {
+				return cell, err
+			}
+			cell.Failed++
+			continue
 		}
 		faulty, dur, err := r.Predictions(ds, tech, arch, specs, rep)
 		if err != nil {
-			return cell, err
+			if IsCancelled(err) {
+				return cell, err
+			}
+			cell.Failed++
+			continue
 		}
 		cell.TrainDur += dur
 		ads = append(ads, metrics.AccuracyDelta(golden, faulty, test.Labels))
@@ -415,7 +581,9 @@ func (r *Runner) MeasureAD(ds, tech, arch string, specs []FaultSpec) (Cell, erro
 }
 
 // GoldenAccuracy measures the accuracy of a technique trained on CLEAN data
-// (Table IV) averaged over repetitions.
+// (Table IV) averaged over repetitions. Failed repetitions are skipped (the
+// returned Summary's N is the surviving count; N == 0 means every
+// repetition failed); only cancellation returns an error.
 func (r *Runner) GoldenAccuracy(ds, tech, arch string) (metrics.Summary, error) {
 	_, test, err := r.Dataset(ds)
 	if err != nil {
@@ -430,7 +598,10 @@ func (r *Runner) GoldenAccuracy(ds, tech, arch string) (metrics.Summary, error) 
 	for rep := 0; rep < r.Reps; rep++ {
 		pred, _, err := r.Predictions(ds, tech, arch, nil, rep)
 		if err != nil {
-			return metrics.Summary{}, err
+			if IsCancelled(err) {
+				return metrics.Summary{}, err
+			}
+			continue
 		}
 		accs = append(accs, metrics.Accuracy(pred, test.Labels))
 	}

@@ -169,6 +169,10 @@ func (in *Injector) step(ds *data.Dataset, protected map[int]bool, spec Spec) (*
 
 	switch spec.Type {
 	case Mislabel:
+		if ds.NumClasses < 2 {
+			return nil, nil, rep, fmt.Errorf("faultinject: cannot mislabel dataset %q with %d class(es); a wrong label needs at least 2",
+				ds.Name, ds.NumClasses)
+		}
 		out := ds.Clone()
 		for _, idx := range affected {
 			// Uniform over the K-1 wrong classes.

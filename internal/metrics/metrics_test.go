@@ -52,6 +52,45 @@ func TestAccuracyDeltaGoldenAllWrong(t *testing.T) {
 	}
 }
 
+func TestAccuracyDeltaEmpty(t *testing.T) {
+	if AccuracyDelta(nil, nil, nil) != 0 {
+		t.Fatal("empty AD should be 0")
+	}
+	if AccuracyDelta([]int{}, []int{}, []int{}) != 0 {
+		t.Fatal("zero-length AD should be 0")
+	}
+}
+
+func TestAccuracyDeltaPanicsOnMismatch(t *testing.T) {
+	cases := []struct {
+		name                   string
+		golden, faulty, labels []int
+	}{
+		{"short golden", []int{0}, []int{0, 1}, []int{0, 1}},
+		{"short faulty", []int{0, 1}, []int{0}, []int{0, 1}},
+		{"short labels", []int{0, 1}, []int{0, 1}, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			AccuracyDelta(tc.golden, tc.faulty, tc.labels)
+		})
+	}
+}
+
+func TestAccuracyBounds(t *testing.T) {
+	if Accuracy([]int{2, 2}, []int{2, 2}) != 1 {
+		t.Fatal("all-correct accuracy should be 1")
+	}
+	if Accuracy([]int{0, 0}, []int{1, 1}) != 0 {
+		t.Fatal("all-wrong accuracy should be 0")
+	}
+}
+
 // Property: AD is in [0,1] and does not count images the golden model got
 // wrong (changing faulty predictions there never alters AD).
 func TestQuickADInvariants(t *testing.T) {

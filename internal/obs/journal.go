@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"tdfm/internal/chaos"
 	"tdfm/internal/data"
 )
 
@@ -125,6 +126,12 @@ func (j *Journal) Dir() string { return j.dir }
 // atomically, then appends rec (stamped with RecordVersion, pred's digest
 // and length, and the completion time) as one synced JSONL line.
 func (j *Journal) Append(rec Record, pred []int) error {
+	// Chaos faultpoint: lets tests fail the durable append for chosen cells
+	// and assert the run survives (the cell stays unrecorded and a -resume
+	// rerun recomputes it).
+	if act := chaos.Check("obs.journal.append", rec.Key); act != nil && act.Err != nil {
+		return fmt.Errorf("obs: appending record for %s: %w", rec.Key, act.Err)
+	}
 	rec.V = RecordVersion
 	rec.Digest = Digest(pred)
 	rec.N = len(pred)

@@ -50,6 +50,19 @@ const (
 	// record, unreadable checkpoint, failed append); the run continues
 	// and the affected cell is recomputed.
 	KindJournalError
+	// KindCellRetry reports a transiently failed cell about to be retrained;
+	// Event.N is the attempt number that failed and Event.Err the failure.
+	KindCellRetry
+	// KindCellPanic reports a cell that ultimately failed with a recovered
+	// panic (Event.Err carries the structured failure with its stack).
+	KindCellPanic
+	// KindCellDiverged reports a cell whose training stayed numerically
+	// divergent through the trainer's bounded recovery and the runner's
+	// retries.
+	KindCellDiverged
+	// KindCellCancelled reports a cell stopped by cooperative cancellation
+	// (interrupt or per-cell timeout) rather than by its own failure.
+	KindCellCancelled
 )
 
 // String returns a stable lower-case name for the kind.
@@ -69,6 +82,14 @@ func (k Kind) String() string {
 		return "cell-restored"
 	case KindJournalError:
 		return "journal-error"
+	case KindCellRetry:
+		return "cell-retry"
+	case KindCellPanic:
+		return "cell-panic"
+	case KindCellDiverged:
+		return "cell-diverged"
+	case KindCellCancelled:
+		return "cell-cancelled"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -83,10 +104,11 @@ type Event struct {
 	// Dur is the training wall-clock for KindCellFinish and
 	// KindCellRestored.
 	Dur time.Duration
-	// N is the scheduled-cell count for KindGridPlan.
+	// N is the scheduled-cell count for KindGridPlan and the failed
+	// attempt number for KindCellRetry.
 	N int
-	// Err carries the failure for KindJournalError and failed
-	// KindCellFinish events.
+	// Err carries the failure for KindJournalError, failed KindCellFinish,
+	// and the cell-failure kinds (retry, panic, diverged, cancelled).
 	Err error
 }
 

@@ -10,7 +10,8 @@ import (
 
 func TestKindString(t *testing.T) {
 	kinds := []Kind{KindGridPlan, KindCellStart, KindCellFinish, KindCacheHit,
-		KindCacheMiss, KindCellRestored, KindJournalError}
+		KindCacheMiss, KindCellRestored, KindJournalError,
+		KindCellRetry, KindCellPanic, KindCellDiverged, KindCellCancelled}
 	seen := make(map[string]bool)
 	for _, k := range kinds {
 		s := k.String()

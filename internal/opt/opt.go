@@ -131,6 +131,44 @@ func (a *Adam) Step(params []*nn.Param) {
 	}
 }
 
+// GradNorm returns the global L2 norm of the accumulated gradients across
+// all parameters — the trainer's divergence detector samples it each step
+// to catch explosions before they reach NaN. It returns +Inf if any
+// gradient entry is NaN or Inf (a NaN gradient has no meaningful norm but
+// is certainly divergent).
+func GradNorm(params []*nn.Param) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			sum += g * g
+		}
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipGradNorm rescales the accumulated gradients so their global L2 norm
+// is at most maxNorm, returning the pre-clip norm. Gradients at or under
+// the bound (or a non-positive maxNorm) are left untouched. A non-finite
+// norm cannot be rescaled; the caller must restart instead (the trainer's
+// divergence recovery does).
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	norm := GradNorm(params)
+	if maxNorm <= 0 || norm <= maxNorm || math.IsInf(norm, 0) {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		g := p.Grad.Data()
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+	return norm
+}
+
 // Schedule maps an epoch index to a learning-rate multiplier.
 type Schedule interface {
 	// Factor returns the multiplier applied to the base learning rate at

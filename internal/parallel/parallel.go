@@ -18,10 +18,53 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a pooled worker goroutine, carrying
+// the panicking goroutine's stack. For and Run convert worker panics into
+// PanicErrors and re-panic them on the calling goroutine once every worker
+// has finished, so a panic inside a shard or task unwinds the caller (where
+// it can be recovered and classified — the experiment runner turns it into
+// a structured cell failure) instead of killing the whole process from an
+// anonymous goroutine.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error formats the panic value with its originating stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n\nworker stack:\n%s", e.Value, e.Stack)
+}
+
+// AsPanicError unwraps v (a recovered panic value) to a *PanicError,
+// wrapping raw values so callers always get the stack of the original
+// panic: a re-panicked PanicError keeps its worker stack, a direct panic
+// gets the current goroutine's.
+func AsPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// capture runs fn and records a recovered panic into slot (used by For and
+// Run to collect worker panics deterministically by index).
+func capture(fn func(), slot **PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			*slot = AsPanicError(v)
+		}
+	}()
+	fn()
+}
 
 var (
 	mu     sync.Mutex
@@ -97,6 +140,12 @@ func Release(k int) {
 // budget with TryAcquire, so For degrades to a single inline fn(0, n) call
 // when the budget is spent. fn must write only state owned by its [lo, hi)
 // range; under that contract the result is identical for any worker count.
+//
+// A panic in any shard is isolated: every shard still runs to completion
+// (their outputs are independent), and For then re-panics the
+// lowest-indexed shard's panic on the calling goroutine as a *PanicError
+// carrying the worker stack. The choice of re-panicked shard is by index,
+// not by timing, so the surfaced failure is schedule-independent.
 func For(n, maxShards int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -116,31 +165,52 @@ func For(n, maxShards int, fn func(lo, hi int)) {
 	}
 	defer Release(granted)
 	w = granted + 1
+	panics := make([]*PanicError, w)
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for s := 1; s < w; s++ {
-		lo, hi := s*n/w, (s+1)*n/w
-		go func(lo, hi int) {
+		lo, hi, slot := s*n/w, (s+1)*n/w, &panics[s]
+		go func() {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			capture(func() { fn(lo, hi) }, slot)
+		}()
 	}
-	fn(0, n/w)
+	capture(func() { fn(0, n/w) }, &panics[0])
 	wg.Wait()
+	for _, pe := range panics {
+		if pe != nil {
+			panic(pe)
+		}
+	}
 }
 
 // Run executes the tasks, running up to Budget() of them concurrently.
 // The calling goroutine always participates; with no budget available the
 // tasks run serially inline, in order. Tasks must be independent.
+//
+// A panic in any task is isolated: the remaining tasks still run (they
+// share no state), and Run then re-panics the lowest-indexed task's panic
+// on the calling goroutine as a *PanicError carrying the worker stack —
+// one crashing ensemble member can therefore never take down its siblings
+// or the process, and the surfaced failure is schedule-independent.
 func Run(tasks ...func()) {
 	if len(tasks) == 0 {
 		return
 	}
+	panics := make([]*PanicError, len(tasks))
+	rethrow := func() {
+		for _, pe := range panics {
+			if pe != nil {
+				panic(pe)
+			}
+		}
+	}
 	granted := TryAcquire(len(tasks) - 1)
 	if granted == 0 {
-		for _, task := range tasks {
-			task()
+		for i, task := range tasks {
+			capture(task, &panics[i])
 		}
+		rethrow()
 		return
 	}
 	defer Release(granted)
@@ -151,7 +221,7 @@ func Run(tasks ...func()) {
 			if i >= len(tasks) {
 				return
 			}
-			tasks[i]()
+			capture(tasks[i], &panics[i])
 		}
 	}
 	var wg sync.WaitGroup
@@ -164,4 +234,5 @@ func Run(tasks ...func()) {
 	}
 	work()
 	wg.Wait()
+	rethrow()
 }

@@ -158,3 +158,123 @@ func TestRunSerialOrderWithoutBudget(t *testing.T) {
 		}
 	})
 }
+
+// recoverPanicError runs body expecting a panic and returns it as a
+// *PanicError (nil if body returned normally).
+func recoverPanicError(t *testing.T, body func()) (pe *PanicError) {
+	t.Helper()
+	defer func() {
+		if v := recover(); v != nil {
+			var ok bool
+			if pe, ok = v.(*PanicError); !ok {
+				t.Fatalf("re-panicked value is %T, want *PanicError", v)
+			}
+		}
+	}()
+	body()
+	return nil
+}
+
+func TestRunIsolatesWorkerPanic(t *testing.T) {
+	withBudget(t, 4, func() {
+		var ran atomic.Int64
+		tasks := make([]func(), 6)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() {
+				if i == 2 {
+					panic("task 2 exploded")
+				}
+				ran.Add(1)
+			}
+		}
+		pe := recoverPanicError(t, func() { Run(tasks...) })
+		if pe == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if pe.Value != "task 2 exploded" {
+			t.Fatalf("panic value %v", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatal("panic carries no worker stack")
+		}
+		// Panic isolation: the sibling tasks all still ran.
+		if ran.Load() != 5 {
+			t.Fatalf("%d sibling tasks ran, want 5", ran.Load())
+		}
+		if InUse() != 0 {
+			t.Fatalf("budget leaked: %d slots in use after panic", InUse())
+		}
+	})
+}
+
+func TestRunRepanicsLowestIndexDeterministically(t *testing.T) {
+	withBudget(t, 4, func() {
+		for trial := 0; trial < 20; trial++ {
+			pe := recoverPanicError(t, func() {
+				Run(
+					func() { panic("first") },
+					func() {},
+					func() { panic("third") },
+				)
+			})
+			if pe == nil || pe.Value != "first" {
+				t.Fatalf("trial %d: surfaced %v, want the lowest-indexed panic", trial, pe)
+			}
+		}
+	})
+}
+
+func TestRunSerialPathIsolatesPanic(t *testing.T) {
+	withBudget(t, 1, func() {
+		var ran int
+		pe := recoverPanicError(t, func() {
+			Run(func() { panic("inline") }, func() { ran++ })
+		})
+		if pe == nil || pe.Value != "inline" {
+			t.Fatalf("serial panic not surfaced: %v", pe)
+		}
+		if ran != 1 {
+			t.Fatal("serial sibling task skipped after panic")
+		}
+	})
+}
+
+func TestForIsolatesShardPanic(t *testing.T) {
+	withBudget(t, 4, func() {
+		const n = 64
+		touched := make([]int32, n)
+		pe := recoverPanicError(t, func() {
+			For(n, 4, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&touched[i], 1)
+				}
+				if lo == 0 {
+					panic("shard 0")
+				}
+			})
+		})
+		if pe == nil || pe.Value != "shard 0" {
+			t.Fatalf("shard panic not surfaced: %v", pe)
+		}
+		for i, c := range touched {
+			if c != 1 {
+				t.Fatalf("index %d visited %d times; sibling shards must complete", i, c)
+			}
+		}
+		if InUse() != 0 {
+			t.Fatalf("budget leaked: %d slots in use after panic", InUse())
+		}
+	})
+}
+
+func TestAsPanicErrorPassthrough(t *testing.T) {
+	orig := &PanicError{Value: "x", Stack: []byte("s")}
+	if AsPanicError(orig) != orig {
+		t.Fatal("AsPanicError rewrapped an existing PanicError")
+	}
+	wrapped := AsPanicError("raw")
+	if wrapped.Value != "raw" || len(wrapped.Stack) == 0 {
+		t.Fatalf("AsPanicError(raw) = %+v", wrapped)
+	}
+}

@@ -113,11 +113,15 @@ func InjectFaults(ds *Dataset, seed uint64, specs ...FaultSpec) (*Dataset, []fau
 	return faultinject.New(xrand.New(seed)).Inject(ds, specs...)
 }
 
-// Accuracy returns the fraction of predictions matching labels.
+// Accuracy returns the fraction of predictions matching labels. Empty
+// inputs yield 0; mismatched slice lengths are a caller bug and panic.
 func Accuracy(pred, labels []int) float64 { return metrics.Accuracy(pred, labels) }
 
 // AccuracyDelta returns the paper's AD metric: the fraction of test points
 // the golden model classified correctly that the faulty model gets wrong.
+// When the golden model got nothing right (or the inputs are empty) the
+// metric is defined as 0; mismatched slice lengths are a caller bug and
+// panic.
 func AccuracyDelta(goldenPred, faultyPred, labels []int) float64 {
 	return metrics.AccuracyDelta(goldenPred, faultyPred, labels)
 }
