@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race chaos bench bench-parallel repro examples vet vet-docs fmt clean
+.PHONY: build test test-race chaos bench bench-parallel repro examples vet vet-docs lint fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -17,13 +17,20 @@ vet-docs:
 	go run ./cmd/vetdocs internal/obs internal/parallel internal/experiment \
 	    internal/faultinject internal/metrics
 
+# Static-analysis gate: the full tdfmlint pass suite — nodeterminism,
+# maporder, errwrap, paniccontract, docs — over every package
+# (DESIGN.md §7, "Static-analysis gates").
+lint:
+	go run ./cmd/tdfmlint ./internal/... ./cmd/... .
+
 fmt:
 	gofmt -w .
 
-# Default quality gate: doc coverage, the full unit/integration suite, and
-# a race-detector pass over the new obs subsystem (journal appends and
-# sinks are exercised concurrently by pool workers).
-test: vet-docs
+# Default quality gate: the static-analysis suite, doc coverage, the full
+# unit/integration suite, and a race-detector pass over the new obs
+# subsystem (journal appends and sinks are exercised concurrently by pool
+# workers).
+test: vet-docs lint
 	go test ./...
 	go test -race ./internal/obs/...
 

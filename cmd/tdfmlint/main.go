@@ -1,0 +1,176 @@
+// Command tdfmlint is the repo's go vet-style determinism and
+// correctness gate: it runs the internal/lint pass suite —
+// nodeterminism, maporder, errwrap, paniccontract, docs — over the
+// given package directories and exits nonzero on any finding. The
+// quality gate runs it as `make lint` (and through `make test`) over
+// ./internal/... ./cmd/... and the root package.
+//
+// Usage:
+//
+//	tdfmlint [-list] <pattern> [<pattern> ...]
+//
+// A pattern is a package directory ("."), or a tree pattern ending in
+// /... which expands to every package directory beneath it (testdata,
+// hidden, and underscore-prefixed directories are skipped, as the go
+// tool does). -list prints the pass catalog and exits.
+//
+// Findings can be suppressed case by case with a trailing or
+// immediately preceding comment of the form
+//
+//	//tdfm:allow <pass> <reason>
+//
+// The reason is mandatory, unknown pass names are findings, and a
+// directive that suppresses nothing is itself reported — suppressions
+// cannot silently outlive the code they excused. See DESIGN.md §7.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tdfm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code
+// (0 clean, 1 findings, 2 usage or load failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("tdfmlint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	list := fl.Bool("list", false, "print the pass catalog and exit")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, p := range lint.AllPasses() {
+			fmt.Fprintf(stdout, "%-16s %s\n", p.Name(), p.Doc())
+		}
+		return 0
+	}
+	if fl.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: tdfmlint [-list] <dir|dir/...> [...]")
+		return 2
+	}
+	dirs, err := expandPatterns(fl.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader := lint.NewLoader()
+	var pkgs []*lint.Package
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			if errors.Is(err, lint.ErrNoGoFiles) {
+				continue
+			}
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		// The gate requires a type-correct tree: passes degrade without
+		// type information, so surface the root cause instead of
+		// silently weakening the checks.
+		for i, terr := range pkg.TypeErrors {
+			if i == 3 {
+				fmt.Fprintf(stderr, "tdfmlint: %s: (more type errors elided)\n", dir)
+				break
+			}
+			fmt.Fprintf(stderr, "tdfmlint: %s: type error: %v\n", dir, terr)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings = append(findings, lint.Run(pkgs, lint.AllPasses())...)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "tdfmlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns resolves directory and /... tree patterns into a
+// sorted, deduplicated list of package directories containing at least
+// one non-test Go file.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		root = filepath.Clean(root)
+		info, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("tdfmlint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("tdfmlint: %s is not a directory", root)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if skipDir(d.Name()) && path != root {
+				return fs.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tdfmlint: walking %s: %w", root, err)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// skipDir mirrors the go tool's tree-walking exclusions: testdata,
+// hidden, and underscore-prefixed directories.
+func skipDir(name string) bool {
+	return name == "testdata" ||
+		strings.HasPrefix(name, ".") ||
+		strings.HasPrefix(name, "_")
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExpandPatterns expands a tree pattern from this package's
+// directory: the walk must find package dirs, skip testdata, and
+// dedupe repeats.
+func TestExpandPatterns(t *testing.T) {
+	dirs, err := expandPatterns([]string{"../../internal/...", "../../internal/lint", "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Clean("../../internal/lint")
+	found := false
+	for _, d := range dirs {
+		if d == want {
+			found = true
+		}
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata directory not skipped: %s", d)
+		}
+	}
+	if !found {
+		t.Fatalf("expanded dirs missing %s: %v", want, dirs)
+	}
+	seen := make(map[string]bool)
+	for _, d := range dirs {
+		if seen[d] {
+			t.Errorf("duplicate dir %s", d)
+		}
+		seen[d] = true
+	}
+}
+
+// TestRunFindsSeededViolations runs the real CLI entry point over the
+// nodeterminism golden package and expects findings and exit code 1.
+func TestRunFindsSeededViolations(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"../../internal/lint/testdata/src/nodeterminism"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	for _, want := range []string{"import of math/rand", "time.Now", "bare go statement"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunList prints the pass catalog.
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, pass := range []string{"nodeterminism", "maporder", "errwrap", "paniccontract", "docs"} {
+		if !strings.Contains(out.String(), pass) {
+			t.Errorf("-list output missing %q:\n%s", pass, out.String())
+		}
+	}
+}
+
+// TestRunUsage exits 2 without arguments.
+func TestRunUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

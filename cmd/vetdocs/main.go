@@ -1,26 +1,31 @@
-// Command vetdocs is a go vet-style documentation gate: it fails (exit 1)
-// when a package lacks a package comment or an exported top-level
-// identifier — function, method on an exported type, type, constant, or
-// variable — lacks a doc comment. `make vet-docs` runs it over the
-// packages whose godoc this repository guarantees (internal/obs,
-// internal/parallel, internal/experiment), and `make test` runs vet-docs.
+// Command vetdocs is a thin wrapper over the tdfmlint docs pass
+// (internal/lint): it fails (exit 1) when a package lacks a package
+// comment or an exported top-level identifier — function, method on
+// an exported type, type, constant, or variable — lacks a doc
+// comment. `make vet-docs` runs it over the packages whose godoc this
+// repository guarantees, and `make test` runs vet-docs.
+//
+// The full analyzer suite (cmd/tdfmlint) runs the same docs pass over
+// every package alongside the determinism and correctness passes; use
+// vetdocs when only the documentation gate is wanted — it skips
+// type-checking, so it is fast enough for editor hooks.
 //
 // Usage:
 //
 //	vetdocs <package-dir> [<package-dir> ...]
 //
-// Test files (*_test.go) are exempt: their helpers are documentation-free
-// by convention.
+// Test files (*_test.go) are exempt: their helpers are
+// documentation-free by convention. //tdfm:allow docs directives are
+// honoured exactly as under tdfmlint.
 package main
 
 import (
+	"errors"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"io"
 	"os"
-	"strings"
+
+	"tdfm/internal/lint"
 )
 
 func main() {
@@ -34,122 +39,29 @@ func main() {
 	}
 }
 
-// check reports every documentation gap in the given package directories
-// to w and returns the number found.
+// check reports every documentation gap in the given package
+// directories to w and returns the number found. Directories holding
+// only test files are clean; unloadable ones count as one finding.
 func check(dirs []string, w io.Writer) int {
-	missing := 0
-	report := func(pos token.Position, format string, args ...any) {
-		missing++
-		fmt.Fprintf(w, "%s: %s\n", pos, fmt.Sprintf(format, args...))
-	}
+	loader := lint.NewLoader()
+	loader.NoTypes = true // the docs pass is purely syntactic
+	var pkgs []*lint.Package
+	n := 0
 	for _, dir := range dirs {
-		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-			return !strings.HasSuffix(fi.Name(), "_test.go")
-		}, parser.ParseComments)
+		pkg, err := loader.Load(dir)
 		if err != nil {
-			fmt.Fprintf(w, "%s: %v\n", dir, err)
-			missing++
-			continue
-		}
-		for _, pkg := range pkgs {
-			checkPackage(fset, pkg, dir, report)
-		}
-	}
-	return missing
-}
-
-// checkPackage walks one parsed package.
-func checkPackage(fset *token.FileSet, pkg *ast.Package, dir string, report func(token.Position, string, ...any)) {
-	hasPkgDoc := false
-	for _, f := range pkg.Files {
-		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-			hasPkgDoc = true
-			break
-		}
-	}
-	if !hasPkgDoc {
-		report(token.Position{Filename: dir}, "package %s has no package comment", pkg.Name)
-	}
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				checkFunc(fset, d, report)
-			case *ast.GenDecl:
-				checkGen(fset, d, report)
-			}
-		}
-	}
-}
-
-// checkFunc flags exported functions, and exported methods on exported
-// receivers, that have no doc comment.
-func checkFunc(fset *token.FileSet, d *ast.FuncDecl, report func(token.Position, string, ...any)) {
-	if !d.Name.IsExported() || documented(d.Doc) {
-		return
-	}
-	if d.Recv != nil {
-		recv := receiverName(d.Recv)
-		if recv != "" && !ast.IsExported(recv) {
-			return // method on an unexported type: not part of the API
-		}
-		report(fset.Position(d.Pos()), "exported method %s.%s has no doc comment", recv, d.Name.Name)
-		return
-	}
-	report(fset.Position(d.Pos()), "exported function %s has no doc comment", d.Name.Name)
-}
-
-// checkGen flags exported type/const/var specs documented neither on the
-// spec nor on the enclosing declaration group.
-func checkGen(fset *token.FileSet, d *ast.GenDecl, report func(token.Position, string, ...any)) {
-	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
-		return
-	}
-	groupDoc := documented(d.Doc)
-	for _, spec := range d.Specs {
-		switch s := spec.(type) {
-		case *ast.TypeSpec:
-			if s.Name.IsExported() && !groupDoc && !documented(s.Doc) {
-				report(fset.Position(s.Pos()), "exported type %s has no doc comment", s.Name.Name)
-			}
-		case *ast.ValueSpec:
-			if groupDoc || documented(s.Doc) || documented(s.Comment) {
+			if errors.Is(err, lint.ErrNoGoFiles) {
 				continue
 			}
-			for _, name := range s.Names {
-				if name.IsExported() {
-					report(fset.Position(name.Pos()), "exported %s %s has no doc comment", d.Tok, name.Name)
-				}
-			}
+			fmt.Fprintf(w, "%s: %v\n", dir, err)
+			n++
+			continue
 		}
+		pkgs = append(pkgs, pkg)
 	}
-}
-
-// receiverName extracts the receiver's base type name (stripping pointers
-// and type parameters).
-func receiverName(recv *ast.FieldList) string {
-	if recv == nil || len(recv.List) == 0 {
-		return ""
+	for _, f := range lint.Run(pkgs, []lint.Pass{lint.NewDocs()}) {
+		fmt.Fprintln(w, f)
+		n++
 	}
-	t := recv.List[0].Type
-	for {
-		switch x := t.(type) {
-		case *ast.StarExpr:
-			t = x.X
-		case *ast.IndexExpr:
-			t = x.X
-		case *ast.IndexListExpr:
-			t = x.X
-		case *ast.Ident:
-			return x.Name
-		default:
-			return ""
-		}
-	}
-}
-
-// documented reports whether a comment group carries actual text.
-func documented(doc *ast.CommentGroup) bool {
-	return doc != nil && strings.TrimSpace(doc.Text()) != ""
+	return n
 }

@@ -1,0 +1,64 @@
+package tdfm
+
+import (
+	"strings"
+	"testing"
+
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/parallel"
+)
+
+// panelCSV runs the smoke grid — one dataset, one architecture, one
+// fault type, one rate, two repetitions — on a fresh runner honouring
+// the TDFM_WORKERS environment variable, and returns the exported CSV.
+func panelCSV(t *testing.T) string {
+	t.Helper()
+	r := NewRunner(ScaleTiny, 42, 2)
+	r.EpochOverride = 2
+	r.Workers = benchWorkers()
+	p, err := r.RunPanel("gtsrblike", "convnet", Remove, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := &experiment.Figure3Result{FaultType: faultinject.Remove, Panels: []*experiment.Panel{p}}
+	var csv strings.Builder
+	if err := fig.Table().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String()
+}
+
+// TestDeterminismAcrossWorkerCounts is the end-to-end determinism smoke
+// test: the same tiny grid run with TDFM_WORKERS=1 and TDFM_WORKERS=4
+// must export byte-identical CSV. It exercises the same environment knob
+// as `make bench-parallel`, so a schedule-dependent regression anywhere
+// in the pipeline (datagen, fault injection, training, aggregation,
+// rendering) fails this test rather than silently skewing results.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(0)
+
+	t.Setenv("TDFM_WORKERS", "1")
+	serial := panelCSV(t)
+	t.Setenv("TDFM_WORKERS", "4")
+	par := panelCSV(t)
+
+	if serial == par {
+		return
+	}
+	sl, pl := strings.Split(serial, "\n"), strings.Split(par, "\n")
+	for i := 0; i < len(sl) || i < len(pl); i++ {
+		var a, b string
+		if i < len(sl) {
+			a = sl[i]
+		}
+		if i < len(pl) {
+			b = pl[i]
+		}
+		if a != b {
+			t.Errorf("CSV line %d differs between worker counts:\n  workers=1: %s\n  workers=4: %s", i+1, a, b)
+		}
+	}
+	t.Fatal("CSV export is not byte-identical across TDFM_WORKERS settings")
+}

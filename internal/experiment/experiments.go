@@ -310,23 +310,23 @@ func (s SpeedupReport) Ratio() float64 {
 // timings); the report is nil when Workers <= 1.
 func (r *Runner) OverheadWithSpeedup(ds, arch string, specs []FaultSpec) ([]OverheadRow, *SpeedupReport, error) {
 	par := r.freshOverheadRunner()
-	start := time.Now()
+	start := time.Now() //tdfm:allow nodeterminism wall-clock IS the measurement here (§IV-E overhead timing)
 	rows, err := overheadGrid(par, ds, arch, specs)
 	if err != nil {
 		return nil, nil, err
 	}
-	parDur := time.Since(start)
+	parDur := time.Since(start) //tdfm:allow nodeterminism wall-clock IS the measurement here (§IV-E overhead timing)
 	if par.workers() <= 1 {
 		return rows, nil, nil
 	}
 	serial := r.freshOverheadRunner()
 	serial.Workers = 1
-	start = time.Now()
+	start = time.Now() //tdfm:allow nodeterminism wall-clock IS the measurement here (§IV-E overhead timing)
 	rows, err = overheadGrid(serial, ds, arch, specs)
 	if err != nil {
 		return nil, nil, err
 	}
-	serialDur := time.Since(start)
+	serialDur := time.Since(start) //tdfm:allow nodeterminism wall-clock IS the measurement here (§IV-E overhead timing)
 	return rows, &SpeedupReport{Workers: par.workers(), Serial: serialDur, Parallel: parDur}, nil
 }
 

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"tdfm/internal/metrics"
+)
+
+// TestMotivatingRenderDeterministic pins the collect-then-sort idiom in
+// MotivatingResult.Render: technique bars must appear in sorted key
+// order and the output must be byte-identical across calls, even though
+// TechniqueAD is a map. Guarded by the maporder lint pass; this test
+// keeps the behaviour pinned if the render path is rewritten.
+func TestMotivatingRenderDeterministic(t *testing.T) {
+	m := &MotivatingResult{
+		GoldenAcc: metrics.Summary{Mean: 0.9, CI95: 0.01},
+		FaultyAcc: metrics.Summary{Mean: 0.7, CI95: 0.02},
+		TechniqueAD: map[string]metrics.Summary{
+			"removal":    {Mean: 0.10, CI95: 0.01},
+			"golden":     {Mean: 0.00, CI95: 0.00},
+			"none":       {Mean: 0.30, CI95: 0.03},
+			"relabeling": {Mean: 0.12, CI95: 0.01},
+		},
+	}
+	var first strings.Builder
+	m.Render(&first)
+	for range 10 {
+		var again strings.Builder
+		m.Render(&again)
+		if again.String() != first.String() {
+			t.Fatalf("Render output varies across calls:\n%s\nvs\n%s", first.String(), again.String())
+		}
+	}
+	// The technique lines must be in sorted map-key order. Scan only the
+	// bar section so the "golden model accuracy" header line does not
+	// shadow the golden bar.
+	_, bars, ok := strings.Cut(first.String(), "AD per TDFM technique:")
+	if !ok {
+		t.Fatalf("bar section missing from output:\n%s", first.String())
+	}
+	var keys []int
+	for _, k := range []string{"golden", "none", "relabeling", "removal"} {
+		idx := strings.Index(bars, displayName(k))
+		if idx < 0 {
+			t.Fatalf("technique %q missing from output:\n%s", k, first.String())
+		}
+		keys = append(keys, idx)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatalf("technique bars out of sorted order:\n%s", first.String())
+		}
+	}
+}

@@ -404,13 +404,13 @@ func (r *Runner) trainCell(key, ds, tech, arch string, specs []FaultSpec, rep in
 		defer cancel()
 		cfg.Ctx = ctx
 	}
-	start := time.Now()
+	start := time.Now() //tdfm:allow nodeterminism training duration is a reported measurement, not part of any result
 	clf, err := technique.Train(cfg,
 		core.TrainSet{Data: faulty, CleanIndices: cleanIdx}, rng)
 	if err != nil {
 		return nil, 0, fmt.Errorf("experiment: %s: %w", key, err)
 	}
-	dur = time.Since(start)
+	dur = time.Since(start) //tdfm:allow nodeterminism training duration is a reported measurement, not part of any result
 	pred = clf.Predict(test.X)
 
 	if r.Progress != nil {
@@ -494,7 +494,7 @@ func (r *Runner) warm(cells []cellReq) {
 	}
 	wg.Add(w)
 	for i := 1; i < w; i++ {
-		go work()
+		go work() //tdfm:allow nodeterminism warm-up pool predates internal/parallel; cells are memoized so order cannot leak into results
 	}
 	work()
 	wg.Wait()

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectivePass is the pseudo-pass name under which problems with
+// //tdfm:allow directives themselves are reported. It is not a real
+// pass and cannot be suppressed.
+const DirectivePass = "directive"
+
+// directivePrefix introduces a suppression comment. Canonical form
+// (no space after //, like //go:generate):
+//
+//	//tdfm:allow <pass> <reason...>
+type directive struct {
+	// Pass is the pass the directive silences.
+	Pass string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	// Pos is where the directive comment starts.
+	Pos token.Position
+	// target is the line the directive covers: its own line for a
+	// trailing comment, otherwise the next non-directive line below it
+	// (so directives for different passes stack).
+	target int
+	used   bool
+}
+
+// collectDirectives parses every //tdfm:allow comment in the package.
+// Malformed directives — unknown pass name, or no reason — are
+// returned as findings: a suppression that does not say which check it
+// silences and why is exactly the kind of silent drift the linter
+// exists to prevent.
+func collectDirectives(pkg *Package, known map[string]bool) ([]*directive, []Finding) {
+	var dirs []*directive
+	var bad []Finding
+	for _, f := range pkg.Files {
+		lines := make(map[int]bool) // lines holding a directive, for stacking
+		var fileDirs []*directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{
+						Pass: DirectivePass, Pos: pos,
+						Message: "//tdfm:allow needs a pass name and a reason: //tdfm:allow <pass> <reason>",
+					})
+					continue
+				case !known[fields[0]]:
+					bad = append(bad, Finding{
+						Pass: DirectivePass, Pos: pos,
+						Message: fmt.Sprintf("//tdfm:allow names unknown pass %q (known: %s)",
+							fields[0], strings.Join(sortedNames(known), ", ")),
+					})
+					continue
+				case len(fields) < 2:
+					bad = append(bad, Finding{
+						Pass: DirectivePass, Pos: pos,
+						Message: fmt.Sprintf("//tdfm:allow %s has no reason; a justification is mandatory", fields[0]),
+					})
+					continue
+				}
+				d := &directive{
+					Pass:   fields[0],
+					Reason: strings.Join(fields[1:], " "),
+					Pos:    pos,
+				}
+				lines[pos.Line] = true
+				fileDirs = append(fileDirs, d)
+			}
+		}
+		// Resolve targets after all of the file's directive lines are
+		// known: a directive on its own line covers the next line that
+		// is not itself a directive, so stacked allows all reach the
+		// statement below them. A trailing directive covers its own
+		// line (which is not in lines only when the code shares it —
+		// comment positions alone cannot distinguish the two, so a
+		// directive always covers its own line as well).
+		for _, d := range fileDirs {
+			t := d.Pos.Line + 1
+			for lines[t] {
+				t++
+			}
+			d.target = t
+		}
+		dirs = append(dirs, fileDirs...)
+	}
+	return dirs, bad
+}
+
+// suppress reports whether a directive covers the finding, marking the
+// first matching directive used.
+func suppress(dirs []*directive, f Finding) bool {
+	for _, d := range dirs {
+		if d.Pass != f.Pass {
+			continue
+		}
+		if d.Pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if f.Pos.Line == d.Pos.Line || f.Pos.Line == d.target {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// directiveText extracts the payload of a //tdfm:allow comment, if the
+// comment is one. Block comments are not directives.
+func directiveText(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	payload, ok := strings.CutPrefix(rest, "tdfm:allow")
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(payload), true
+}
+
+// sortedNames lists the map's keys in order, for stable messages.
+func sortedNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

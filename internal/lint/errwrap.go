@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the repo's sentinel-error discipline: sentinel
+// errors exported by the module's internal packages (package-level
+// `var ErrX = ...` of type error, e.g. core.ErrDiverged,
+// chaos.ErrInjected) must survive wrapping, so they are
+//
+//   - wrapped with the %w verb when passed to fmt.Errorf, never %v or
+//     %s (an unwrapped sentinel breaks errors.Is-based retry
+//     classification three layers up);
+//   - compared with errors.Is, never == or != or a switch case (the
+//     engine wraps every error with cell context, so an identity
+//     comparison silently stops matching).
+//
+// Comparisons against nil are of course fine. The pass relies on type
+// information to resolve which identifiers are sentinels; without it,
+// it reports nothing.
+type ErrWrap struct {
+	// SentinelPathPrefixes are the import-path prefixes whose exported
+	// Err* package-level error variables count as sentinels.
+	SentinelPathPrefixes []string
+}
+
+// NewErrWrap returns the pass configured for this module's internal
+// packages.
+func NewErrWrap() *ErrWrap {
+	return &ErrWrap{SentinelPathPrefixes: []string{"tdfm/internal/", "tdfm"}}
+}
+
+// Name implements Pass.
+func (p *ErrWrap) Name() string { return "errwrap" }
+
+// Doc implements Pass.
+func (p *ErrWrap) Doc() string {
+	return "sentinel errors compared with == / switch or wrapped without %w"
+}
+
+// Run implements Pass.
+func (p *ErrWrap) Run(pkg *Package) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{Pass: p.Name(), Pos: pkg.Fset.Position(n.Pos()), Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if name := p.sentinelName(pkg, x.X); name != "" {
+					report(x, "sentinel %s compared with %s; use errors.Is so wrapped errors still match", name, x.Op)
+				} else if name := p.sentinelName(pkg, x.Y); name != "" {
+					report(x, "sentinel %s compared with %s; use errors.Is so wrapped errors still match", name, x.Op)
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil || !isErrorExpr(pkg, x.Tag) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name := p.sentinelName(pkg, v); name != "" {
+							report(v, "sentinel %s used as a switch case (an == comparison); use errors.Is so wrapped errors still match", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				p.checkErrorf(pkg, x, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorf flags fmt.Errorf calls that pass a sentinel without a %w
+// verb in a literal format string.
+func (p *ErrWrap) checkErrorf(pkg *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := p.sentinelName(pkg, arg); name != "" {
+			report(arg, "sentinel %s passed to fmt.Errorf without %%w; callers' errors.Is checks will stop matching", name)
+		}
+	}
+}
+
+// sentinelName returns a display name ("core.ErrDiverged") when the
+// expression resolves to a sentinel error variable, else "".
+func (p *ErrWrap) sentinelName(pkg *Package, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	obj, ok := pkg.Info.Uses[id]
+	if !ok {
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return ""
+	}
+	// Package-level variable of interface type error.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	path := v.Pkg().Path()
+	for _, prefix := range p.SentinelPathPrefixes {
+		if path == prefix || strings.HasPrefix(path, prefix) {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// isErrorExpr reports whether the expression's static type is error.
+func isErrorExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+// isErrorType reports whether t is the built-in error interface (or an
+// alias of it).
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

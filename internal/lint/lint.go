@@ -1,0 +1,144 @@
+// Package lint is the pass framework behind cmd/tdfmlint, the repo's
+// go vet-style determinism and correctness analyzer. It generalizes the
+// original cmd/vetdocs single-check design: a Pass inspects one loaded
+// (parsed and optionally type-checked) package and reports Findings;
+// Run executes a set of passes over a set of packages, applies
+// `//tdfm:allow <pass> <reason>` suppression directives, and flags
+// malformed or useless directives as findings of their own.
+//
+// Every pass uses only the standard library (go/ast, go/parser,
+// go/types); cross-package type information comes from go/types'
+// source importer, so the analyzer needs no compiled artifacts and no
+// third-party modules.
+//
+// The shipped passes guard the invariants the reproduction's claims
+// rest on — byte-identical grids at any worker count, under resume and
+// under fault recovery:
+//
+//   - nodeterminism: unseeded randomness, wall-clock reads, and bare
+//     goroutines outside the sanctioned concurrency/observability
+//     packages;
+//   - maporder: map iteration whose body produces order-sensitive
+//     output (slice appends, float accumulation, writer output);
+//   - errwrap: sentinel errors compared with == or wrapped without %w;
+//   - paniccontract: exported facade functions that can panic but do
+//     not document it;
+//   - docs: missing godoc on exported identifiers (the old vetdocs
+//     check; cmd/vetdocs remains as a thin wrapper over it).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one problem a pass reports, anchored to a source position.
+type Finding struct {
+	// Pass is the name of the pass that produced the finding (or the
+	// pseudo-pass "directive" for malformed suppressions).
+	Pass string
+	// Pos locates the finding; suppression directives match on its file
+	// and line.
+	Pos token.Position
+	// Message describes the problem and, where possible, the fix.
+	Message string
+}
+
+// String formats the finding in the conventional path:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Pass, f.Message)
+}
+
+// Pass is one analyzer: it inspects a loaded package and reports
+// findings. Passes must be stateless across Run calls (they may run
+// over many packages) and must not mutate the package.
+type Pass interface {
+	// Name is the identifier used in output and in //tdfm:allow
+	// directives.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Run inspects pkg and returns its findings.
+	Run(pkg *Package) []Finding
+}
+
+// AllPasses returns a fresh instance of every shipped pass with default
+// configuration, in the order tdfmlint runs them. The set of names also
+// defines which passes a //tdfm:allow directive may reference.
+func AllPasses() []Pass {
+	return []Pass{
+		NewNoDeterminism(),
+		NewMapOrder(),
+		NewErrWrap(),
+		NewPanicContract(),
+		NewDocs(),
+	}
+}
+
+// KnownPassNames returns the names a //tdfm:allow directive may
+// legally reference: every shipped pass, whether or not it is part of
+// the current run (cmd/vetdocs runs only the docs pass but must not
+// reject the suppressions cmd/tdfmlint relies on).
+func KnownPassNames() map[string]bool {
+	known := make(map[string]bool)
+	for _, p := range AllPasses() {
+		known[p.Name()] = true
+	}
+	return known
+}
+
+// Run executes the passes over every package, applies suppression
+// directives, and returns the surviving findings plus any directive
+// problems (unknown pass, missing reason, suppressing nothing), sorted
+// by position then pass name.
+func Run(pkgs []*Package, passes []Pass) []Finding {
+	known := KnownPassNames()
+	ran := make(map[string]bool, len(passes))
+	for _, p := range passes {
+		ran[p.Name()] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg, known)
+		out = append(out, bad...)
+		for _, p := range passes {
+			for _, f := range p.Run(pkg) {
+				if !suppress(dirs, f) {
+					out = append(out, f)
+				}
+			}
+		}
+		// A directive for a pass that ran but suppressed nothing is
+		// stale: the code it excused has moved or been fixed.
+		for _, d := range dirs {
+			if ran[d.Pass] && !d.used {
+				out = append(out, Finding{
+					Pass: DirectivePass,
+					Pos:  d.Pos,
+					Message: fmt.Sprintf(
+						"//tdfm:allow %s suppresses nothing; delete the stale directive", d.Pass),
+				})
+			}
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by file, line, column, then pass.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` loops over maps whose bodies produce
+// order-sensitive results — the classic nondeterministic-output bug in
+// report and render code, where a map-ordered loop writes rows or
+// accumulates floats and two runs of the same binary disagree:
+//
+//   - appending to a slice, unless the same function sorts that slice
+//     after the loop (the sanctioned collect-then-sort idiom);
+//   - accumulating into a float with +=, -=, *=, /= (float addition is
+//     not associative, so even a sum depends on iteration order);
+//   - writing output (fmt.Print*/Fprint* or a Write/WriteString
+//     method) from inside the loop body.
+//
+// Integer accumulation, counting, and map-to-map copies are
+// order-independent and not flagged. The pass needs type information
+// to know the ranged expression is a map; without it (load errors) it
+// reports nothing rather than guessing.
+type MapOrder struct{}
+
+// NewMapOrder returns the pass.
+func NewMapOrder() *MapOrder { return &MapOrder{} }
+
+// Name implements Pass.
+func (p *MapOrder) Name() string { return "maporder" }
+
+// Doc implements Pass.
+func (p *MapOrder) Doc() string {
+	return "map-ordered loops that append, accumulate floats, or write output"
+}
+
+// Run implements Pass.
+func (p *MapOrder) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, p.checkFunc(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// checkFunc scans one function for map-ordered loops with
+// order-sensitive bodies.
+func (p *MapOrder) checkFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !p.rangesOverMap(pkg, rs) {
+			return true
+		}
+		out = append(out, p.checkBody(pkg, fd, rs)...)
+		return true
+	})
+	return out
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func (p *MapOrder) rangesOverMap(pkg *Package, rs *ast.RangeStmt) bool {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkBody flags the order-sensitive operations inside one map-ranged
+// loop body.
+func (p *MapOrder) checkBody(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) []Finding {
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{Pass: p.Name(), Pos: pkg.Fset.Position(n.Pos()), Message: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if f := p.checkAssign(pkg, fd, rs, x); f != "" {
+				report(x, "%s", f)
+			}
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if f := p.checkWrite(pkg, call); f != "" {
+					report(x, "%s", f)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssign classifies one assignment inside a map-ranged body:
+// slice append (minus the sorted-keys idiom) or float accumulation.
+func (p *MapOrder) checkAssign(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) string {
+	// Float accumulation: x += v and friends where x is a float.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(pkg, as.Lhs[0]) {
+			return "accumulates a float in map-iteration order; float arithmetic is not associative — iterate sorted keys"
+		}
+		return ""
+	}
+	// Appends: x = append(x, ...).
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pkg, call) || i >= len(as.Lhs) {
+			continue
+		}
+		target := identObject(pkg, as.Lhs[i])
+		// Collect-then-sort idiom: appending into a slice that the
+		// same function later sorts (sort.Strings on collected keys,
+		// sort.Slice on collected values) restores a deterministic
+		// order and is the sanctioned way to iterate a map.
+		if target != nil && sortedAfter(pkg, fd, rs, target) {
+			continue
+		}
+		return "appends to a slice in map-iteration order; collect and sort (or iterate sorted keys) instead"
+	}
+	// Plain re-assignment accumulation: x = x + v with float x.
+	if as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok &&
+			(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) &&
+			isFloat(pkg, as.Lhs[0]) && sameObject(pkg, as.Lhs[0], bin.X) {
+			return "accumulates a float in map-iteration order; float arithmetic is not associative — iterate sorted keys"
+		}
+	}
+	return ""
+}
+
+// checkWrite flags output calls inside a map-ranged body: fmt
+// print/fprint helpers and Write/WriteString methods.
+func (p *MapOrder) checkWrite(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if obj, ok := pkg.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return fmt.Sprintf("fmt.%s inside a map-ordered loop emits lines in nondeterministic order; iterate sorted keys", name)
+		}
+		return ""
+	}
+	if name == "Write" || name == "WriteString" {
+		return fmt.Sprintf("%s inside a map-ordered loop emits bytes in nondeterministic order; iterate sorted keys", name)
+	}
+	return ""
+}
+
+// sortedAfter reports whether fd sorts the slice object via the sort
+// or slices package somewhere after the range statement.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, slice types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		obj, ok := pkg.Info.Uses[sel.Sel]
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		if path := obj.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && pkg.Info.Uses[id] == slice {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// identObject resolves an expression to the object it names, nil for
+// anything but a plain identifier (including the blank identifier).
+func identObject(pkg *Package, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// sameObject reports whether two expressions are identifiers naming
+// the same object.
+func sameObject(pkg *Package, a, b ast.Expr) bool {
+	oa, ob := identObject(pkg, a), identObject(pkg, b)
+	return oa != nil && oa == ob
+}
+
+// isFloat reports whether the expression's type is a floating-point
+// basic type.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}

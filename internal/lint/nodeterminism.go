@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NoDeterminism flags the three constructs that can silently break the
+// repo's byte-identical-results guarantee when they appear in
+// result-bearing code:
+//
+//   - importing math/rand or math/rand/v2: all experiment randomness
+//     must flow through internal/xrand, whose streams are keyed by
+//     (seed, cell key), never by call order;
+//   - reading the wall clock (time.Now, time.Since): wall-clock values
+//     in a result path make two identical runs differ;
+//   - bare `go` statements: ad-hoc goroutines reorder work; concurrency
+//     belongs in internal/parallel, whose pools keep results
+//     schedule-independent.
+//
+// Packages on the allowlist are exempt wholesale: the sanctioned
+// randomness/concurrency/observability layers need these primitives to
+// exist, and cmd/ binaries legitimately time and parallelize their own
+// UX (progress lines, signal handling). Everywhere else a finding
+// needs a fix or a reasoned //tdfm:allow.
+type NoDeterminism struct {
+	// Allow lists module-relative package paths exempt from the pass; a
+	// trailing slash entry ("cmd/") exempts the whole subtree.
+	Allow []string
+}
+
+// NewNoDeterminism returns the pass with the repo's sanctioned
+// allowlist.
+func NewNoDeterminism() *NoDeterminism {
+	return &NoDeterminism{Allow: []string{
+		"internal/xrand",    // the sanctioned RNG wraps math/rand/v2's PCG
+		"internal/obs",      // journal timestamps, progress ETAs, heartbeats
+		"internal/parallel", // the shared worker-pool implementation
+		"internal/chaos",    // fault injection arms goroutine-shaped failures
+		"cmd/",              // CLIs own their wall-clock UX and signal handling
+	}}
+}
+
+// Name implements Pass.
+func (p *NoDeterminism) Name() string { return "nodeterminism" }
+
+// Doc implements Pass.
+func (p *NoDeterminism) Doc() string {
+	return "global math/rand, wall-clock reads, and bare goroutines outside the sanctioned packages"
+}
+
+// allowed reports whether the package is exempt.
+func (p *NoDeterminism) allowed(rel string) bool {
+	for _, a := range p.Allow {
+		if rel == a || rel == strings.TrimSuffix(a, "/") {
+			return true
+		}
+		if strings.HasSuffix(a, "/") && strings.HasPrefix(rel, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Pass.
+func (p *NoDeterminism) Run(pkg *Package) []Finding {
+	if p.allowed(pkg.RelPath) {
+		return nil
+	}
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{Pass: p.Name(), Pos: pkg.Fset.Position(n.Pos()), Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		timeNames := importNames(f, "time")
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				report(imp, "import of %s: derive randomness from internal/xrand so streams stay keyed by seed and cell", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				report(x, "bare go statement: run concurrent work on internal/parallel so results stay schedule-independent")
+			case *ast.SelectorExpr:
+				id, ok := x.X.(*ast.Ident)
+				if !ok || !timeNames[id.Name] || !isPackageRef(pkg, id) {
+					return true
+				}
+				switch x.Sel.Name {
+				case "Now":
+					report(x, "time.Now reads the wall clock; results must not depend on when a run happens")
+				case "Since":
+					report(x, "time.Since reads the wall clock; results must not depend on when a run happens")
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// importNames maps the local names under which file f imports path
+// (usually just the base name; renamed imports are honoured, dot and
+// blank imports are ignored).
+func importNames(f *ast.File, path string) map[string]bool {
+	names := make(map[string]bool)
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			names[path[strings.LastIndex(path, "/")+1:]] = true
+		case imp.Name.Name == "_" || imp.Name.Name == ".":
+			// nothing addressable by selector
+		default:
+			names[imp.Name.Name] = true
+		}
+	}
+	return names
+}
+
+// isPackageRef reports whether id resolves to a package name (not a
+// local variable shadowing one). Without type information it errs on
+// the side of treating the identifier as the package.
+func isPackageRef(pkg *Package, id *ast.Ident) bool {
+	obj, ok := pkg.Info.Uses[id]
+	if !ok {
+		return true // no type info: assume the import is meant
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}

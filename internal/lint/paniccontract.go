@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// PanicContract pins the facade packages' panic contracts: an exported
+// function (or method on an exported type) in a facade package whose
+// body can reach an explicit panic must say so in its doc comment (any
+// mention of "panic" satisfies the contract — "panics if…", "…are a
+// caller bug and panic"). PR 3 documented these contracts for
+// internal/metrics by hand; this pass keeps them from silently rotting
+// as the facades grow.
+//
+// Only lexically visible `panic(...)` calls count; a panic that
+// escapes from a callee is the callee's contract to document.
+type PanicContract struct {
+	// Facades lists the module-relative package paths whose exported
+	// API must document panics ("." is the root facade).
+	Facades []string
+}
+
+// NewPanicContract returns the pass covering the repo's facades: the
+// root tdfm package and internal/metrics (whose length-mismatch panics
+// are the documented caller-bug contract of PR 3).
+func NewPanicContract() *PanicContract {
+	return &PanicContract{Facades: []string{".", "internal/metrics"}}
+}
+
+// Name implements Pass.
+func (p *PanicContract) Name() string { return "paniccontract" }
+
+// Doc implements Pass.
+func (p *PanicContract) Doc() string {
+	return "exported facade functions that panic without documenting it"
+}
+
+// covers reports whether the package is one of the guarded facades.
+func (p *PanicContract) covers(rel string) bool {
+	for _, f := range p.Facades {
+		if rel == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Run implements Pass.
+func (p *PanicContract) Run(pkg *Package) []Finding {
+	if !p.covers(pkg.RelPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil {
+				if recv := receiverTypeName(fd.Recv); recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type: not API
+				}
+			}
+			if !bodyPanics(fd.Body) {
+				continue
+			}
+			if doc := fd.Doc.Text(); strings.Contains(strings.ToLower(doc), "panic") {
+				continue
+			}
+			out = append(out, Finding{
+				Pass: p.Name(),
+				Pos:  pkg.Fset.Position(fd.Pos()),
+				Message: fmt.Sprintf(
+					"exported %s can panic but its doc comment does not say so; document the panic contract",
+					fd.Name.Name),
+			})
+		}
+	}
+	return out
+}
+
+// bodyPanics reports whether the body lexically contains a call to the
+// panic builtin.
+func bodyPanics(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// receiverTypeName extracts the receiver's base type name, stripping
+// pointers and type parameters.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package directives exercises the //tdfm:allow suppression
+// machinery: valid trailing and preceding directives silence their
+// findings, while unknown passes, missing reasons, and stale
+// directives are findings of their own.
+package directives
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trailing suppresses the wall-clock finding on its own line.
+func Trailing() time.Time {
+	return time.Now() //tdfm:allow nodeterminism directive-test fixture: trailing suppression
+}
+
+// Preceding suppresses the finding on the next code line.
+func Preceding() time.Time {
+	//tdfm:allow nodeterminism directive-test fixture: preceding-line suppression
+	return time.Now()
+}
+
+// Stacked shows two directives for different passes above one line,
+// both reaching past each other to the code below.
+func Stacked(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		//tdfm:allow maporder directive-test fixture: stacked above one line
+		//tdfm:allow nodeterminism directive-test fixture: stacked above one line
+		fmt.Fprintf(w, "%s=%d at %v\n", k, v, time.Now())
+	}
+}
+
+// Unjustified carries malformed directives.
+func Unjustified() {
+	// want@+1 "names unknown pass"
+	//tdfm:allow nosuchpass the pass name is wrong
+	// want@+1 "has no reason; a justification is mandatory"
+	//tdfm:allow nodeterminism
+}
+
+// Stale carries a directive with nothing to suppress.
+func Stale() int {
+	// want@+1 "suppresses nothing"
+	//tdfm:allow errwrap directive-test fixture: nothing here fails errwrap
+	return 1
+}

@@ -1,0 +1,36 @@
+package docs // want "package docs has no package comment"
+
+func Exported() {} // want "exported function Exported has no doc comment"
+
+// Documented does something and is never flagged.
+func Documented() {}
+
+type Thing struct{} // want "exported type Thing has no doc comment"
+
+// Method acts on a Thing.
+func (t *Thing) Method() {}
+
+func (t *Thing) Bare() {} // want "exported method Thing.Bare has no doc comment"
+
+// A detached comment (blank line between) does not document a
+// declaration, so the const below is flagged.
+// want@+2 "exported const Answer has no doc comment"
+
+const Answer = 42
+
+// want@+2 "exported var Config has no doc comment"
+
+var Config = "x"
+
+// Grouped declarations share one doc comment: never flagged.
+const (
+	A = 1
+	B = 2
+)
+
+type hidden struct{}
+
+// Exposed is a method on an unexported type: exempt even undocumented.
+func (h hidden) Exposed() {}
+
+func internal() {}

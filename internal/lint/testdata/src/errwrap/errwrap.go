@@ -1,0 +1,46 @@
+// Package errwrap seeds sentinel-error misuse: identity comparisons,
+// switch cases, and %v-wrapping of a module-internal sentinel. This
+// package lives under tdfm/internal/, so its own ErrBoom counts as a
+// sentinel exactly like core.ErrDiverged does in the real tree.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBoom is the seeded sentinel.
+var ErrBoom = errors.New("boom")
+
+// Identity compares the sentinel with == and !=.
+func Identity(err error) bool {
+	if err == ErrBoom { // want "sentinel errwrap.ErrBoom compared with =="
+		return true
+	}
+	return err != ErrBoom // want "sentinel errwrap.ErrBoom compared with !="
+}
+
+// Switched compares the sentinel via a switch case.
+func Switched(err error) bool {
+	switch err {
+	case ErrBoom: // want "switch case"
+		return true
+	}
+	return false
+}
+
+// Wrapped loses the sentinel behind %v.
+func Wrapped(key string) error {
+	return fmt.Errorf("cell %s: %v", key, ErrBoom) // want "without %w"
+}
+
+// Proper uses errors.Is and %w: never flagged.
+func Proper(err error, key string) error {
+	if errors.Is(err, ErrBoom) {
+		return fmt.Errorf("cell %s: %w", key, ErrBoom)
+	}
+	if err == nil { // nil comparison is fine
+		return nil
+	}
+	return err
+}

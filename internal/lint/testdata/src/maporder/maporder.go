@@ -1,0 +1,82 @@
+// Package maporder seeds map-iteration-order violations: appends,
+// float accumulation, and writer output inside map-ranged loops, plus
+// the sanctioned collect-then-sort idiom that must stay clean.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Collect appends map values in iteration order.
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "appends to a slice in map-iteration order"
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the sanctioned idiom, never flagged.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates a float in map-iteration order.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "accumulates a float in map-iteration order"
+	}
+	return total
+}
+
+// Mean re-assigns a float accumulator in map-iteration order.
+func Mean(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "accumulates a float in map-iteration order"
+	}
+	return total / float64(len(m))
+}
+
+// Count accumulates an int: order-independent, never flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Dump writes rows in map-iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside a map-ordered loop"
+	}
+}
+
+// Build appends builder output in map-iteration order.
+func Build(m map[string]string) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside a map-ordered loop"
+	}
+	return b.String()
+}
+
+// Sliced ranges a slice, not a map: never flagged.
+func Sliced(w io.Writer, xs []string) {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+		fmt.Fprintln(w, x)
+	}
+}

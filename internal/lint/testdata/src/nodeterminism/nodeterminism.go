@@ -1,0 +1,36 @@
+// Package nodeterminism seeds one violation of each kind the
+// nodeterminism pass detects: a math/rand import, wall-clock reads,
+// and a bare go statement.
+package nodeterminism
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// Roll draws from the global generator.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Fire launches a bare goroutine.
+func Fire(done chan struct{}) {
+	go func() { // want "bare go statement"
+		close(done)
+	}()
+}
+
+// Scheduled is fine: no wall clock, no goroutines, no global rand.
+func Scheduled(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,31 @@
+// Package paniccontract seeds an undocumented panic in an exported
+// function; the golden test runs the pass with this package configured
+// as a facade.
+package paniccontract
+
+// Documented panics when n is negative — the contract is stated, so
+// this function is never flagged.
+func Documented(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Quiet has a doc comment that fails to mention the contract.
+func Quiet(n int) int { // want "exported Quiet can panic"
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Calm never panics: never flagged.
+func Calm(n int) int { return n + 1 }
+
+func hidden() { panic("unexported functions are exempt") }
+
+type inner struct{}
+
+// Boom is a method on an unexported type: exempt.
+func (inner) Boom() { panic("not API") }

@@ -36,7 +36,8 @@ func Accuracy(pred, labels []int) float64 {
 // faults.
 //
 // If the golden model classified nothing correctly the AD is defined as 0
-// (there is no damage to measure).
+// (there is no damage to measure). Panics when the prediction and label
+// slices differ in length.
 func AccuracyDelta(goldenPred, faultyPred, labels []int) float64 {
 	if len(goldenPred) != len(labels) || len(faultyPred) != len(labels) {
 		panic(fmt.Sprintf("metrics: prediction/label length mismatch %d/%d/%d",
@@ -63,7 +64,8 @@ func AccuracyDelta(goldenPred, faultyPred, labels []int) float64 {
 // model misclassified but the faulty model classifies correctly. It is
 // normalized by the full test size — not by the (often tiny) count of
 // golden mistakes — so it is directly comparable with DamageRate, the
-// same-normalization forward measure.
+// same-normalization forward measure. Panics when the prediction and
+// label slices differ in length.
 func ReverseDelta(goldenPred, faultyPred, labels []int) float64 {
 	if len(goldenPred) != len(labels) || len(faultyPred) != len(labels) {
 		panic("metrics: prediction/label length mismatch")
@@ -83,7 +85,8 @@ func ReverseDelta(goldenPred, faultyPred, labels []int) float64 {
 // DamageRate is the forward counterpart of ReverseDelta with the same
 // normalization: the proportion of ALL test images the golden model got
 // right and the faulty model gets wrong. (AD normalizes the same numerator
-// by the golden-correct count instead.)
+// by the golden-correct count instead.) Panics when the prediction and
+// label slices differ in length.
 func DamageRate(goldenPred, faultyPred, labels []int) float64 {
 	if len(goldenPred) != len(labels) || len(faultyPred) != len(labels) {
 		panic("metrics: prediction/label length mismatch")
@@ -212,7 +215,8 @@ func OverlapCI(a, b Summary) bool {
 }
 
 // PerClassAccuracy returns the accuracy restricted to each true class
-// (recall per class). Classes absent from the labels report 0.
+// (recall per class). Classes absent from the labels report 0. Panics on
+// a prediction/label length mismatch or a label outside [0, numClasses).
 func PerClassAccuracy(pred, labels []int, numClasses int) []float64 {
 	if len(pred) != len(labels) {
 		panic(fmt.Sprintf("metrics: %d predictions vs %d labels", len(pred), len(labels)))
@@ -238,7 +242,8 @@ func PerClassAccuracy(pred, labels []int, numClasses int) []float64 {
 }
 
 // ConfusionMatrix returns the numClasses×numClasses count matrix
-// m[true][predicted].
+// m[true][predicted]. Panics on a prediction/label length mismatch or a
+// class outside [0, numClasses).
 func ConfusionMatrix(pred, labels []int, numClasses int) [][]int {
 	if len(pred) != len(labels) {
 		panic(fmt.Sprintf("metrics: %d predictions vs %d labels", len(pred), len(labels)))

@@ -112,3 +112,39 @@ func TestSelectDeterministicTieBreak(t *testing.T) {
 		t.Fatalf("tie-break picked %q", sel[0].Representative.Technique)
 	}
 }
+
+// TestSelectOrderInsensitive pins that Select's output order follows
+// Approaches(), not the candidate input order or the grouping map's
+// iteration order: reversing the input must produce an identical
+// selection sequence. Guarded by the maporder lint pass; this test keeps
+// the behaviour pinned if Select is rewritten.
+func TestSelectOrderInsensitive(t *testing.T) {
+	forward := Candidates()
+	reversed := make([]Candidate, len(forward))
+	for i, c := range forward {
+		reversed[len(forward)-1-i] = c
+	}
+	a, err := Select(forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("selection lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Approach != b[i].Approach || a[i].Representative.Technique != b[i].Representative.Technique {
+			t.Errorf("selection %d differs: %s/%s vs %s/%s", i,
+				a[i].Approach, a[i].Representative.Technique,
+				b[i].Approach, b[i].Representative.Technique)
+		}
+	}
+	for i, s := range a {
+		if s.Approach != Approaches()[i] {
+			t.Errorf("selection %d is %s, want Approaches() order %s", i, s.Approach, Approaches()[i])
+		}
+	}
+}
