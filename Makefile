@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race chaos bench bench-parallel repro examples vet vet-docs lint fmt clean
+.PHONY: build test test-race chaos serve-chaos bench bench-parallel repro examples vet vet-docs lint fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -32,7 +32,7 @@ fmt:
 # workers).
 test: vet-docs lint
 	go test ./...
-	go test -race ./internal/obs/...
+	go test -race ./internal/obs/... ./internal/serve/...
 
 # Race-detector pass over the whole module (quality gate, DESIGN.md §6).
 test-race:
@@ -45,6 +45,12 @@ chaos:
 	go test -race ./internal/chaos/...
 	go test -race -run 'Chaos|Injected|Diverge|Panic|Retry|Cancel|Timeout|Recover' \
 	    ./internal/core/... ./internal/experiment/... ./internal/parallel/...
+
+# Serving-layer fault suite (DESIGN.md §8): degraded quorum, breaker
+# trips and recovery, load shedding, drain, and per-request event
+# ordering — all under the race detector on an injected fake clock.
+serve-chaos:
+	go test -race ./internal/serve/...
 
 # Full benchmark suite: regenerates every table/figure once (tiny scale).
 bench:

@@ -1,0 +1,176 @@
+// Command tdfmserve trains a TDFM technique at startup and serves its
+// predictions over a resilient HTTP JSON API: per-member deadlines,
+// circuit breakers, degraded quorum voting, and bounded admission with
+// load shedding (see internal/serve and DESIGN.md §8).
+//
+// Usage:
+//
+//	tdfmserve -addr :8089 -dataset gtsrblike -technique ens \
+//	          [-scale tiny] [-seed 1] [-epochs E] [-workers W] \
+//	          [-member-deadline 2s] [-min-quorum 0] [-queue 64] \
+//	          [-breaker-threshold 3] [-breaker-cooldown 10s]
+//
+// The API:
+//
+//	POST /predict  {"instances": [[…C*H*W floats…], …]}
+//	               → {"predictions": […], "quorum": "k/n", "members": […]}
+//	GET  /healthz  → drain status and per-member breaker states
+//
+// SIGINT or SIGTERM drains cooperatively: admission stops (new requests
+// get 503), in-flight requests finish, then the listener shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tdfm/internal/core"
+	"tdfm/internal/datagen"
+	"tdfm/internal/metrics"
+	"tdfm/internal/parallel"
+	"tdfm/internal/serve"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tdfmserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run trains the technique and serves until SIGINT/SIGTERM or a listener
+// error. When ready is non-nil it receives the bound address once the
+// server is listening (tests use it with "-addr 127.0.0.1:0").
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("tdfmserve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8089", "HTTP listen address")
+		dataset     = fs.String("dataset", "gtsrblike", "dataset: cifar10like|gtsrblike|pneumonialike")
+		scaleStr    = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		tech        = fs.String("technique", "ens", "TDFM technique to train and serve: base|ls|lc|rl|kd|ens")
+		model       = fs.String("model", "convnet", "architecture for single-model techniques")
+		epochs      = fs.Int("epochs", 0, "training epochs (0 = architecture default)")
+		workersN    = fs.Int("workers", 0, "worker pool size for training and tensor kernels (0 = GOMAXPROCS)")
+		deadline    = fs.Duration("member-deadline", 2*time.Second, "per-member prediction deadline")
+		minQuorum   = fs.Int("min-quorum", 0, "fewest surviving members for a vote (0 = strict majority)")
+		queue       = fs.Int("queue", 64, "admission queue capacity; overflow is shed with 429")
+		brThreshold = fs.Int("breaker-threshold", 3, "consecutive member failures that open its breaker")
+		brCooldown  = fs.Duration("breaker-cooldown", 10*time.Second, "open-breaker wait before a half-open probe")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	if *workersN < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workersN)
+	}
+	workers := *workersN
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parallel.SetBudget(workers)
+	tensor.SetParallelism(workers)
+
+	srv, err := buildServer(*dataset, scale, *seed, *tech, *model, *epochs, serve.Options{
+		MemberDeadline:   *deadline,
+		MinQuorum:        *minQuorum,
+		QueueCapacity:    *queue,
+		BreakerThreshold: *brThreshold,
+		BreakerCooldown:  *brCooldown,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Install signal handling before the listener is announced so a test
+	// (or an impatient operator) cannot signal into a gap.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("serving on http://%s (quorum floor %d/%d, deadline %s)\n",
+		ln.Addr(), srv.Options().MinQuorum, len(srv.MemberNames()), srv.Options().MemberDeadline)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tdfmserve: %v — draining, waiting for in-flight requests\n", s)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}
+
+// buildServer generates the dataset, trains the technique, and wraps the
+// trained classifier in the resilient serving layer.
+func buildServer(dataset string, scale datagen.Scale, seed uint64, tech, model string,
+	epochs int, opts serve.Options) (*serve.Server, error) {
+	cfg, ok := datagen.Presets(scale, seed)[dataset]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	train, test, err := datagen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	technique, err := core.Get(tech)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("training %s on %s (%d samples)…\n", technique.Name(), dataset, train.Len())
+	start := time.Now()
+	clf, err := technique.Train(core.Config{Arch: model, Epochs: epochs},
+		core.TrainSet{Data: train}, xrand.New(seed).Split("serve"))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("trained in %s, test accuracy %.1f%%\n",
+		time.Since(start).Round(time.Millisecond),
+		metrics.Accuracy(clf.Predict(test.X), test.Labels)*100)
+
+	names := []string{model}
+	if e, ok := technique.(*core.Ensemble); ok {
+		names = e.Members
+	}
+	opts.Input = [3]int{cfg.Channels, cfg.Height, cfg.Width}
+	return serve.New(serve.Split(clf, names), cfg.NumClasses, opts)
+}
+
+func parseScale(s string) (datagen.Scale, error) {
+	switch s {
+	case "tiny":
+		return datagen.ScaleTiny, nil
+	case "small":
+		return datagen.ScaleSmall, nil
+	case "medium":
+		return datagen.ScaleMedium, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}

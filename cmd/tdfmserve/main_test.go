@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tdfm/internal/datagen"
+)
+
+// TestServeEndToEnd boots the real binary path — train a 1-epoch
+// baseline at tiny scale, listen on an ephemeral port — exercises both
+// endpoints over TCP, and shuts down via SIGTERM's drain path.
+func TestServeEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(strings.Fields(
+			"-addr 127.0.0.1:0 -technique base -model convnet -epochs 1 -scale tiny -min-quorum 1"), ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Members []struct {
+			Name, Breaker string
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.Members) != 1 || health.Members[0].Breaker != "closed" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// One instance of the dataset's exact input size; contents are
+	// arbitrary — the server must answer with quorum 1/1.
+	cfg := datagen.Presets(datagen.ScaleTiny, 1)["gtsrblike"]
+	instance := make([]float64, cfg.Channels*cfg.Height*cfg.Width)
+	payload, _ := json.Marshal(map[string][][]float64{"instances": {instance}})
+	resp, err = http.Post("http://"+addr+"/predict", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred struct {
+		Predictions []int  `json:"predictions"`
+		Quorum      string `json:"quorum"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pred.Quorum != "1/1" || len(pred.Predictions) != 1 {
+		t.Fatalf("predict: status %d, reply %+v", resp.StatusCode, pred)
+	}
+	if pred.Predictions[0] < 0 || pred.Predictions[0] >= cfg.NumClasses {
+		t.Fatalf("prediction %d outside class range 0..%d", pred.Predictions[0], cfg.NumClasses-1)
+	}
+
+	// SIGTERM drains and shuts down cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale", "bogus"},
+		{"-workers", "-1"},
+		{"-dataset", "nope"},
+		{"-technique", "nope"},
+	} {
+		if err := run(args, nil); err == nil {
+			t.Fatalf("run(%v) accepted invalid flags", args)
+		}
+	}
+}

@@ -16,11 +16,14 @@
 //	core.trainLoop.loss      NaN/panic in the trainer's per-batch loss
 //	experiment.trainCell     panic/error around one experiment cell
 //	obs.journal.append       error on the journal's durable append
+//	serve/member             delay/panic/error inside one ensemble
+//	                         member's inference dispatch
 //
 // Labels scope a fault to specific runs: the trainer passes its Config.Tag
 // (the experiment runner sets it to the cell key), the cell and journal
-// points pass the cell key. Matching is by substring; an empty pattern
-// matches every label.
+// points pass the cell key, and the serving layer passes
+// "<request id>/<member name>". Matching is by substring; an empty
+// pattern matches every label.
 package chaos
 
 import (
@@ -28,11 +31,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Action describes what an armed faultpoint does when it fires. Exactly
 // the fields relevant to the faultpoint are consulted: the trainer honours
-// NaN and Panic, the cell and journal points honour Panic and Err.
+// NaN and Panic, the cell and journal points honour Panic and Err, and the
+// serving-layer member point honours Delay, Panic, and Err.
 type Action struct {
 	// Panic makes the faultpoint panic with a recognizable value.
 	Panic bool
@@ -40,9 +45,24 @@ type Action struct {
 	Err error
 	// NaN makes numeric faultpoints corrupt their value to NaN.
 	NaN bool
+	// Delay makes latency-shaped faultpoints sleep this long before
+	// proceeding (see Wait). The sleep goes through the faultpoint's
+	// injected Clock, so a FakeClock test simulates a hung or slow
+	// component without any wall-clock sleeping.
+	Delay time.Duration
 	// Times bounds how often the fault fires; 0 means every time. A fault
 	// with Times n disarms itself after n firings.
 	Times int
+}
+
+// Wait applies the action's Delay on the given clock. It is nil-safe so
+// call sites can invoke it straight on Check's result before inspecting
+// the other fields; a nil action or zero Delay returns immediately.
+func (a *Action) Wait(c Clock) {
+	if a == nil || a.Delay <= 0 {
+		return
+	}
+	c.Sleep(a.Delay)
 }
 
 // ErrInjected is the base error of harness-injected failures: every

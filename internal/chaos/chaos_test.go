@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCheckDisarmed(t *testing.T) {
@@ -94,4 +95,107 @@ func TestCheckConcurrent(t *testing.T) {
 	if Firings() != 100 {
 		t.Fatalf("firings = %d, want exactly 100", Firings())
 	}
+}
+
+func TestDelayActionWaitsOnInjectedClock(t *testing.T) {
+	Reset()
+	defer Reset()
+	clk := NewFake()
+	Arm("p", "slow", Action{Delay: 100 * time.Millisecond})
+
+	done := make(chan struct{})
+	go func() {
+		Check("p", "slow-member").Wait(clk)
+		close(done)
+	}()
+
+	// The goroutine must be parked on the fake clock, not finished.
+	clk.BlockUntil(1)
+	select {
+	case <-done:
+		t.Fatal("Wait returned before the clock advanced")
+	default:
+	}
+	clk.Advance(99 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Wait returned before the full delay elapsed")
+	default:
+	}
+	clk.Advance(1 * time.Millisecond)
+	<-done
+	if clk.Waiters() != 0 {
+		t.Fatalf("waiters = %d after the delay fired, want 0", clk.Waiters())
+	}
+}
+
+func TestWaitNilAndZeroDelayReturnImmediately(t *testing.T) {
+	clk := NewFake()
+	var none *Action
+	none.Wait(clk) // nil action: Check's miss path chains straight through
+	(&Action{}).Wait(clk)
+	(&Action{Delay: -time.Second}).Wait(clk)
+	if clk.Waiters() != 0 {
+		t.Fatalf("waiters = %d, want 0", clk.Waiters())
+	}
+}
+
+func TestFakeClockTimerFireAndStop(t *testing.T) {
+	clk := NewFake()
+	start := clk.Now()
+	fired := clk.NewTimer(50 * time.Millisecond)
+	stopped := clk.NewTimer(80 * time.Millisecond)
+	if n := clk.Waiters(); n != 2 {
+		t.Fatalf("waiters = %d, want 2", n)
+	}
+	if !stopped.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if stopped.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	clk.Advance(60 * time.Millisecond)
+	at := <-fired.C()
+	if got := at.Sub(start); got != 60*time.Millisecond {
+		t.Fatalf("timer fired at +%v, want +60ms", got)
+	}
+	select {
+	case <-stopped.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if fired.Stop() {
+		t.Fatal("Stop on a fired timer reported true")
+	}
+	if clk.Waiters() != 0 {
+		t.Fatalf("waiters = %d, want 0", clk.Waiters())
+	}
+}
+
+func TestFakeClockImmediateTimerAndSleep(t *testing.T) {
+	clk := NewFake()
+	tm := clk.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+	clk.Sleep(0)          // returns without a waiter
+	clk.Sleep(-time.Hour) // negative likewise
+	if clk.Waiters() != 0 {
+		t.Fatalf("waiters = %d, want 0", clk.Waiters())
+	}
+}
+
+func TestWallClockSmoke(t *testing.T) {
+	clk := Wall()
+	before := time.Now()
+	if clk.Now().Before(before) {
+		t.Fatal("Wall().Now went backwards")
+	}
+	tm := clk.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop on a fresh wall timer reported false")
+	}
+	clk.Sleep(0) // must not block
 }

@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the wall clock for code whose *behaviour* depends on
+// time — deadlines, breaker cooldowns, injected delays — but whose
+// *results* must not. Production code holds a Clock (usually Wall) and
+// never calls time.Now or time.Sleep directly; tests inject a FakeClock
+// and advance it explicitly, so every timeout and cooldown path runs
+// deterministically with zero wall-clock sleeps. The nodeterminism lint
+// pass enforces the split: bare time calls outside the sanctioned
+// packages are findings, calls through a Clock are allowed.
+type Clock interface {
+	// Now returns the clock's current time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d (no-op when d <= 0).
+	Sleep(d time.Duration)
+	// NewTimer returns a timer that fires once after d. Callers must
+	// Stop timers they abandon so fake clocks can account for waiters
+	// exactly.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the clock-agnostic subset of time.Timer the repository uses.
+type Timer interface {
+	// C returns the channel the timer fires on.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the timer was still
+	// pending (mirroring time.Timer.Stop).
+	Stop() bool
+}
+
+// Wall returns the real-time Clock backed by package time.
+func Wall() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+// Now implements Clock.
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (wallClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// NewTimer implements Clock.
+func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+type wallTimer struct{ t *time.Timer }
+
+// C implements Timer.
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+
+// Stop implements Timer.
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// FakeClock is a manually advanced Clock for deterministic tests. Time
+// moves only when Advance is called; Sleep and NewTimer register waiters
+// that fire when the clock passes their deadline. BlockUntil lets a test
+// wait for goroutines to reach their Sleep/NewTimer calls before
+// advancing, which replaces every "sleep a bit and hope" synchronization
+// with an exact rendezvous.
+type FakeClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters []*fakeTimer
+}
+
+// NewFake returns a FakeClock starting at the fixed epoch
+// 2000-01-01T00:00:00Z; the starting instant is arbitrary but constant so
+// logged timestamps are reproducible.
+func NewFake() *FakeClock {
+	c := &FakeClock{now: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it blocks until Advance moves the clock past
+// the deadline. Sleep(d <= 0) returns immediately.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := c.NewTimer(d)
+	<-t.C()
+}
+
+// NewTimer implements Clock. A timer with d <= 0 fires immediately.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clock: c, ch: make(chan time.Time, 1), deadline: c.now.Add(d)}
+	if d <= 0 {
+		t.ch <- c.now
+		return t
+	}
+	c.waiters = append(c.waiters, t)
+	c.cond.Broadcast()
+	return t
+}
+
+// Advance moves the clock forward by d and fires every pending timer
+// whose deadline has been reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	remaining := c.waiters[:0]
+	for _, t := range c.waiters {
+		if !t.deadline.After(c.now) {
+			t.ch <- c.now
+		} else {
+			remaining = append(remaining, t)
+		}
+	}
+	c.waiters = remaining
+	c.cond.Broadcast()
+}
+
+// Waiters returns how many timers (including Sleep calls) are currently
+// pending.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// BlockUntil returns once at least n timers are pending on the clock.
+// Tests call it to rendezvous with goroutines that are about to wait
+// (a hung member's injected Delay, a dispatcher's deadline timer) before
+// advancing time past them.
+func (c *FakeClock) BlockUntil(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.waiters) < n {
+		c.cond.Wait()
+	}
+}
+
+type fakeTimer struct {
+	clock    *FakeClock
+	ch       chan time.Time
+	deadline time.Time
+}
+
+// C implements Timer.
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+// Stop implements Timer: it deregisters the timer from the fake clock so
+// abandoned deadlines do not distort Waiters/BlockUntil accounting.
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	for i, w := range t.clock.waiters {
+		if w == t {
+			t.clock.waiters = append(t.clock.waiters[:i], t.clock.waiters[i+1:]...)
+			t.clock.cond.Broadcast()
+			return true
+		}
+	}
+	return false
+}

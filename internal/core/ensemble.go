@@ -122,16 +122,40 @@ func (v *VotingClassifier) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Predict returns the simple-majority class per row; ties are broken by the
-// summed softmax mass over the tied classes.
+// summed softmax mass over the tied classes, then by lowest class index
+// (see TallyVotes).
 func (v *VotingClassifier) Predict(x *tensor.Tensor) []int {
-	n := x.Dim(0)
+	probs := make([]*tensor.Tensor, len(v.Members))
+	for i, m := range v.Members {
+		probs[i] = m.PredictProbs(x)
+	}
+	return TallyVotes(probs, v.Classes)
+}
+
+// TallyVotes combines per-member probability outputs (each of shape
+// [N, K]) into the ensemble's majority-vote class predictions. Each
+// member votes for its argmax class per row; the class with the most
+// votes wins. Ties are broken first by the summed probability mass over
+// the tied classes and then, when the mass also ties exactly, by the
+// lowest class index — so the decision is fully deterministic for a
+// given member set and cannot depend on schedule or worker count.
+//
+// The serving layer calls TallyVotes directly with the subset of members
+// that answered before their deadline: dropping members degrades the
+// vote (the paper's Ens resilience property) without changing the
+// decision rule applied to the survivors. TallyVotes panics when
+// memberProbs is empty; callers enforce their quorum floor first.
+func TallyVotes(memberProbs []*tensor.Tensor, classes int) []int {
+	if len(memberProbs) == 0 {
+		panic("core: TallyVotes needs at least one member")
+	}
+	n := memberProbs[0].Dim(0)
 	votes := make([][]int, n)
 	for i := range votes {
-		votes[i] = make([]int, v.Classes)
+		votes[i] = make([]int, classes)
 	}
-	probSum := tensor.New(n, v.Classes)
-	for _, m := range v.Members {
-		probs := m.PredictProbs(x)
+	probSum := tensor.New(n, classes)
+	for _, probs := range memberProbs {
 		probSum.AddIn(probs)
 		for i, c := range probs.ArgMaxRows() {
 			votes[i][c]++

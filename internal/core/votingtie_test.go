@@ -1,0 +1,144 @@
+package core
+
+import (
+	"tdfm/internal/parallel"
+	"tdfm/internal/tensor"
+	"testing"
+)
+
+// fixedClf is a stub member that always emits the same probability row
+// for every input row. All values in the tests are exact binary
+// fractions, so summed masses are identical under any addition order and
+// tie comparisons are exact, not epsilon-lucky.
+type fixedClf struct{ row []float64 }
+
+func (f fixedClf) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	out := tensor.New(n, len(f.row))
+	for i := 0; i < n; i++ {
+		out.SetRow(i, f.row)
+	}
+	return out
+}
+
+func (f fixedClf) Predict(x *tensor.Tensor) []int {
+	return f.PredictProbs(x).ArgMaxRows()
+}
+
+// permutations returns every ordering of idx (ties must resolve the same
+// under all member orders, so the tests try them all).
+func permutations(idx []int) [][]int {
+	if len(idx) <= 1 {
+		return [][]int{append([]int(nil), idx...)}
+	}
+	var out [][]int
+	for i := range idx {
+		rest := make([]int, 0, len(idx)-1)
+		rest = append(rest, idx[:i]...)
+		rest = append(rest, idx[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]int{idx[i]}, p...))
+		}
+	}
+	return out
+}
+
+// TestVotingTieBreaksToLowestClass locks the ensemble tie rule: with
+// vote counts tied AND summed probability mass tied exactly, Predict
+// must pick the lowest tied class index, for every member order and at
+// any worker budget. PredictProbs (the mean) must argmax to the same
+// class via ArgMaxRows' first-maximum rule.
+func TestVotingTieBreaksToLowestClass(t *testing.T) {
+	defer parallel.SetBudget(0)
+	// Two members vote class 1, two vote class 2, and the per-class
+	// summed mass is identical (1.5 vs 1.5): a full tie between classes
+	// 1 and 2 that must resolve to 1.
+	members := []Classifier{
+		fixedClf{row: []float64{0.25, 0.5, 0.25}},
+		fixedClf{row: []float64{0.25, 0.5, 0.25}},
+		fixedClf{row: []float64{0.25, 0.25, 0.5}},
+		fixedClf{row: []float64{0.25, 0.25, 0.5}},
+	}
+	x := tensor.New(3, 1, 1, 1) // 3 rows; contents are ignored by the stubs
+	for _, workers := range []int{1, 8} {
+		parallel.SetBudget(workers)
+		for _, order := range permutations([]int{0, 1, 2, 3}) {
+			permuted := make([]Classifier, len(order))
+			for i, j := range order {
+				permuted[i] = members[j]
+			}
+			v := &VotingClassifier{Members: permuted, Classes: 3}
+			for row, got := range v.Predict(x) {
+				if got != 1 {
+					t.Fatalf("workers=%d order=%v row=%d: Predict = %d, want 1 (lowest tied class)",
+						workers, order, row, got)
+				}
+			}
+			// The mean probabilities tie at classes 1 and 2 (0.375 each);
+			// argmax must return the first (lowest) maximum.
+			for row, got := range v.PredictProbs(x).ArgMaxRows() {
+				if got != 1 {
+					t.Fatalf("workers=%d order=%v row=%d: PredictProbs argmax = %d, want 1",
+						workers, order, row, got)
+				}
+			}
+		}
+	}
+}
+
+// TestVotingAllDistinctVotesTie: with every member voting a different
+// class and identical masses, the lowest class index must win.
+func TestVotingAllDistinctVotesTie(t *testing.T) {
+	members := []Classifier{
+		fixedClf{row: []float64{0.5, 0.25, 0.25}},
+		fixedClf{row: []float64{0.25, 0.5, 0.25}},
+		fixedClf{row: []float64{0.25, 0.25, 0.5}},
+	}
+	x := tensor.New(2, 1, 1, 1)
+	for _, order := range permutations([]int{0, 1, 2}) {
+		permuted := make([]Classifier, len(order))
+		for i, j := range order {
+			permuted[i] = members[j]
+		}
+		v := &VotingClassifier{Members: permuted, Classes: 3}
+		for row, got := range v.Predict(x) {
+			if got != 0 {
+				t.Fatalf("order=%v row=%d: Predict = %d, want 0", order, row, got)
+			}
+		}
+	}
+}
+
+// TestVotingMassBreaksVoteTie: when vote counts tie but one tied class
+// carries strictly more summed mass, the heavier class wins even when it
+// is the higher index (the mass rule precedes the index rule).
+func TestVotingMassBreaksVoteTie(t *testing.T) {
+	x := tensor.New(1, 1, 1, 1)
+	heavy := []Classifier{
+		fixedClf{row: []float64{0.125, 0.5, 0.375}},     // votes class 1
+		fixedClf{row: []float64{0.0625, 0.375, 0.5625}}, // votes class 2, heavier mass on 2
+	}
+	for _, order := range permutations([]int{0, 1}) {
+		permuted := make([]Classifier, len(order))
+		for i, j := range order {
+			permuted[i] = heavy[j]
+		}
+		v := &VotingClassifier{Members: permuted, Classes: 3}
+		// Votes tie 1–1 between classes 1 and 2; mass is 0.875 vs
+		// 0.9375, so class 2 must win despite the higher index.
+		if got := v.Predict(x)[0]; got != 2 {
+			t.Fatalf("order=%v: Predict = %d, want 2 (mass rule)", order, got)
+		}
+	}
+}
+
+// TestTallyVotesPanicsOnEmpty pins the documented contract: callers
+// enforce their quorum floor before tallying.
+func TestTallyVotesPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TallyVotes on an empty member set did not panic")
+		}
+	}()
+	TallyVotes(nil, 3)
+}

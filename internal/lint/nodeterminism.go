@@ -8,18 +8,28 @@ import (
 	"strings"
 )
 
-// NoDeterminism flags the three constructs that can silently break the
+// NoDeterminism flags the four constructs that can silently break the
 // repo's byte-identical-results guarantee when they appear in
 // result-bearing code:
 //
 //   - importing math/rand or math/rand/v2: all experiment randomness
 //     must flow through internal/xrand, whose streams are keyed by
 //     (seed, cell key), never by call order;
-//   - reading the wall clock (time.Now, time.Since): wall-clock values
-//     in a result path make two identical runs differ;
+//   - reading the wall clock (time.Now, time.Since, time.Until):
+//     wall-clock values in a result path make two identical runs differ;
+//   - waiting on the wall clock (time.Sleep, time.After, time.AfterFunc,
+//     time.Tick, time.NewTimer, time.NewTicker): delays and deadlines
+//     must flow through an injected clock (chaos.Clock) so tests drive
+//     every timeout path deterministically with a FakeClock;
 //   - bare `go` statements: ad-hoc goroutines reorder work; concurrency
 //     belongs in internal/parallel, whose pools keep results
 //     schedule-independent.
+//
+// The injected-clock idiom is recognised by construction: the pass flags
+// only selectors on the time package itself, so code that calls
+// Now/Sleep/NewTimer on a Clock interface value (clock.Sleep(d),
+// s.opts.Clock.NewTimer(deadline)) passes clean — which is exactly the
+// fix the wait findings ask for.
 //
 // Packages on the allowlist are exempt wholesale: the sanctioned
 // randomness/concurrency/observability layers need these primitives to
@@ -49,7 +59,7 @@ func (p *NoDeterminism) Name() string { return "nodeterminism" }
 
 // Doc implements Pass.
 func (p *NoDeterminism) Doc() string {
-	return "global math/rand, wall-clock reads, and bare goroutines outside the sanctioned packages"
+	return "global math/rand, wall-clock reads and waits, and bare goroutines outside the sanctioned packages"
 }
 
 // allowed reports whether the package is exempt.
@@ -95,10 +105,10 @@ func (p *NoDeterminism) Run(pkg *Package) []Finding {
 					return true
 				}
 				switch x.Sel.Name {
-				case "Now":
-					report(x, "time.Now reads the wall clock; results must not depend on when a run happens")
-				case "Since":
-					report(x, "time.Since reads the wall clock; results must not depend on when a run happens")
+				case "Now", "Since", "Until":
+					report(x, "time.%s reads the wall clock; results must not depend on when a run happens", x.Sel.Name)
+				case "Sleep", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker":
+					report(x, "time.%s waits on the wall clock; inject a clock (chaos.Clock) so delays and deadlines run deterministically in tests", x.Sel.Name)
 				}
 			}
 			return true

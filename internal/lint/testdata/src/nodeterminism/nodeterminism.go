@@ -1,6 +1,7 @@
 // Package nodeterminism seeds one violation of each kind the
 // nodeterminism pass detects: a math/rand import, wall-clock reads,
-// and a bare go statement.
+// wall-clock waits, and a bare go statement — plus the injected-clock
+// idiom, which must pass clean.
 package nodeterminism
 
 import (
@@ -24,6 +25,32 @@ func Fire(done chan struct{}) {
 	go func() { // want "bare go statement"
 		close(done)
 	}()
+}
+
+// Nap sleeps on the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep waits on the wall clock"
+}
+
+// Deadline builds wall-clock timers.
+func Deadline() {
+	t := time.NewTimer(time.Second) // want "time.NewTimer waits on the wall clock"
+	defer t.Stop()
+	<-time.After(time.Second) // want "time.After waits on the wall clock"
+}
+
+// Clock mirrors the injected-clock idiom (chaos.Clock): code that takes
+// its time source as an interface is deterministic under a fake clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// Patient waits through an injected Clock — no findings: the pass flags
+// selectors on package time only, never interface calls.
+func Patient(c Clock, d time.Duration) time.Time {
+	c.Sleep(d)
+	return c.Now()
 }
 
 // Scheduled is fine: no wall clock, no goroutines, no global rand.

@@ -12,9 +12,11 @@
 //
 //   - Observability sinks (Sink): structured progress events emitted by
 //     the experiment runner — cell start/finish, memo cache hit/miss,
-//     checkpoint restores, journal problems — which feed the CLIs'
-//     periodic progress line (Progress, with pool occupancy and an ETA
-//     derived from completed-cell timings) or any custom consumer.
+//     checkpoint restores, journal problems — and by the serving layer
+//     (internal/serve: request admission and shedding, member timeouts
+//     and panics, breaker transitions), which feed the CLIs' periodic
+//     progress line (Progress, with pool occupancy and an ETA derived
+//     from completed-cell timings) or any custom consumer.
 //
 // Emitting an event must never perturb results: sinks only observe, and
 // the runner emits outside of any result-bearing computation.
@@ -63,6 +65,30 @@ const (
 	// KindCellCancelled reports a cell stopped by cooperative cancellation
 	// (interrupt or per-cell timeout) rather than by its own failure.
 	KindCellCancelled
+	// KindReqAdmit marks an inference request admitted past the serving
+	// layer's bounded queue; Event.Key is the request ID.
+	KindReqAdmit
+	// KindReqShed marks an inference request rejected at admission because
+	// the queue was full (load shedding) — the 429 path.
+	KindReqShed
+	// KindReqDone marks an inference request finishing; Event.Detail
+	// carries the achieved quorum as "k/n" and Event.Err any typed
+	// failure (quorum floor, for example).
+	KindReqDone
+	// KindMemberTimeout reports an ensemble member dropped from a vote
+	// because it missed its per-member deadline; Event.Member names it.
+	KindMemberTimeout
+	// KindMemberPanic reports an ensemble member dropped from a vote
+	// because its dispatch panicked; Event.Err carries the recovered
+	// panic with its stack.
+	KindMemberPanic
+	// KindMemberError reports an ensemble member dropped from a vote
+	// because its dispatch returned an error.
+	KindMemberError
+	// KindBreakerChange reports a member circuit breaker transition;
+	// Event.Member names the member and Event.Detail the transition
+	// ("closed→open", "open→half-open", "half-open→closed", …).
+	KindBreakerChange
 )
 
 // String returns a stable lower-case name for the kind.
@@ -90,16 +116,32 @@ func (k Kind) String() string {
 		return "cell-diverged"
 	case KindCellCancelled:
 		return "cell-cancelled"
+	case KindReqAdmit:
+		return "req-admit"
+	case KindReqShed:
+		return "req-shed"
+	case KindReqDone:
+		return "req-done"
+	case KindMemberTimeout:
+		return "member-timeout"
+	case KindMemberPanic:
+		return "member-panic"
+	case KindMemberError:
+		return "member-error"
+	case KindBreakerChange:
+		return "breaker-change"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
 // Event is one structured progress notification from the experiment
-// runner. Only the fields relevant to the Kind are populated.
+// runner or the serving layer. Only the fields relevant to the Kind are
+// populated.
 type Event struct {
 	Kind Kind
-	// Key is the cell key for cell-scoped events.
+	// Key is the cell key for cell-scoped events and the request ID for
+	// serving-layer events.
 	Key string
 	// Dur is the training wall-clock for KindCellFinish and
 	// KindCellRestored.
@@ -108,12 +150,21 @@ type Event struct {
 	// attempt number for KindCellRetry.
 	N int
 	// Err carries the failure for KindJournalError, failed KindCellFinish,
-	// and the cell-failure kinds (retry, panic, diverged, cancelled).
+	// and the cell-failure kinds (retry, panic, diverged, cancelled), plus
+	// serving-layer member failures and failed KindReqDone.
 	Err error
+	// Member names the ensemble member for the serving layer's member and
+	// breaker events.
+	Member string
+	// Detail is a short structured annotation: the achieved quorum "k/n"
+	// on KindReqDone, the state transition on KindBreakerChange.
+	Detail string
 }
 
-// Sink consumes runner events. Implementations must be safe for
-// concurrent use: grid cells finish on multiple workers.
+// Sink consumes runner and serving-layer events. Implementations must be
+// safe for concurrent use: grid cells finish on multiple workers, and
+// concurrent inference requests emit interleaved — though per request ID
+// internally ordered — event sequences.
 type Sink interface {
 	Emit(Event)
 }

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tdfm/internal/chaos"
+)
+
+// BreakerState is a member circuit breaker's position in its
+// closed→open→half-open state machine (DESIGN.md §8).
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: the member is healthy and dispatched normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the member failed BreakerThreshold consecutive times
+	// and is skipped until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request
+	// is dispatched to test the member, everyone else still skips it.
+	BreakerHalfOpen
+)
+
+// String returns the wire name used in responses and events.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// transition describes one observed state change for event emission.
+type transition struct {
+	from, to BreakerState
+}
+
+// String renders the transition as "closed→open".
+func (t transition) String() string { return t.from.String() + "→" + t.to.String() }
+
+// breaker is one member's circuit breaker. All timing goes through the
+// injected clock; all methods are safe for concurrent use.
+//
+// The state machine: BreakerThreshold consecutive failures while closed
+// open the breaker; after cooldown the next allow() moves it to
+// half-open and admits a single probe; the probe's success closes the
+// breaker (failure re-opens it with a fresh cooldown). Successes while
+// closed reset the consecutive-failure count.
+type breaker struct {
+	clock     chaos.Clock
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	st       BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// newBreaker returns a closed breaker.
+func newBreaker(clock chaos.Clock, threshold int, cooldown time.Duration) *breaker {
+	return &breaker{clock: clock, threshold: threshold, cooldown: cooldown}
+}
+
+// state returns the current state without advancing it.
+func (b *breaker) state() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+// allow decides whether a request may dispatch to this member now.
+// probe is true when this dispatch is the single half-open probe, and
+// tr carries the open→half-open transition when the call caused one.
+func (b *breaker) allow() (ok, probe bool, tr *transition) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case BreakerClosed:
+		return true, false, nil
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return false, false, nil
+		}
+		b.st = BreakerHalfOpen
+		b.probing = true
+		return true, true, &transition{from: BreakerOpen, to: BreakerHalfOpen}
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, false, nil
+		}
+		b.probing = true
+		return true, true, nil
+	}
+}
+
+// record reports a dispatched member's outcome back to the breaker and
+// returns the transition it caused, if any. probe must be the value
+// allow returned for this dispatch.
+func (b *breaker) record(success, probe bool) *transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if success {
+		b.fails = 0
+		if probe && b.st == BreakerHalfOpen {
+			b.st = BreakerClosed
+			return &transition{from: BreakerHalfOpen, to: BreakerClosed}
+		}
+		return nil
+	}
+	switch {
+	case probe && b.st == BreakerHalfOpen:
+		b.st = BreakerOpen
+		b.openedAt = b.clock.Now()
+		return &transition{from: BreakerHalfOpen, to: BreakerOpen}
+	case b.st == BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.st = BreakerOpen
+			b.openedAt = b.clock.Now()
+			return &transition{from: BreakerClosed, to: BreakerOpen}
+		}
+	}
+	// Failures reported while already open (a dispatch that raced the
+	// breaker opening) change nothing.
+	return nil
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+)
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := chaos.NewFake()
+	b := newBreaker(clk, 3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if ok, _, _ := b.allow(); !ok {
+			t.Fatalf("closed breaker refused dispatch %d", i)
+		}
+		if tr := b.record(false, false); tr != nil {
+			t.Fatalf("failure %d transitioned early: %v", i, tr)
+		}
+	}
+	// A success in between resets the consecutive count.
+	b.allow()
+	b.record(true, false)
+	for i := 0; i < 2; i++ {
+		b.allow()
+		if tr := b.record(false, false); tr != nil {
+			t.Fatalf("post-reset failure %d transitioned early: %v", i, tr)
+		}
+	}
+	b.allow()
+	tr := b.record(false, false)
+	if tr == nil || tr.from != BreakerClosed || tr.to != BreakerOpen {
+		t.Fatalf("third consecutive failure did not open the breaker: %v", tr)
+	}
+	if got := b.state(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("open breaker allowed a dispatch before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := chaos.NewFake()
+	b := newBreaker(clk, 1, time.Minute)
+	b.allow()
+	b.record(false, false) // threshold 1: opens immediately
+	clk.Advance(59 * time.Second)
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("open breaker probed before the cooldown elapsed")
+	}
+	clk.Advance(time.Second)
+	ok, probe, tr := b.allow()
+	if !ok || !probe {
+		t.Fatalf("cooldown elapsed but no probe: ok=%v probe=%v", ok, probe)
+	}
+	if tr == nil || tr.from != BreakerOpen || tr.to != BreakerHalfOpen {
+		t.Fatalf("missing open→half-open transition: %v", tr)
+	}
+	// While the probe is in flight, everyone else is refused.
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("second dispatch allowed during an in-flight probe")
+	}
+	// Probe success closes the breaker.
+	tr = b.record(true, true)
+	if tr == nil || tr.from != BreakerHalfOpen || tr.to != BreakerClosed {
+		t.Fatalf("probe success did not close: %v", tr)
+	}
+	if got := b.state(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := chaos.NewFake()
+	b := newBreaker(clk, 1, time.Minute)
+	b.allow()
+	b.record(false, false)
+	clk.Advance(time.Minute)
+	_, probe, _ := b.allow()
+	if !probe {
+		t.Fatal("expected a probe")
+	}
+	tr := b.record(false, true)
+	if tr == nil || tr.from != BreakerHalfOpen || tr.to != BreakerOpen {
+		t.Fatalf("probe failure did not re-open: %v", tr)
+	}
+	// The cooldown restarts from the re-open instant.
+	clk.Advance(30 * time.Second)
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("re-opened breaker probed after half a cooldown")
+	}
+	clk.Advance(30 * time.Second)
+	if ok, probe, _ := b.allow(); !ok || !probe {
+		t.Fatal("re-opened breaker refused the probe after a full cooldown")
+	}
+}
+
+func TestBreakerLateFailureWhileOpenIsInert(t *testing.T) {
+	clk := chaos.NewFake()
+	b := newBreaker(clk, 1, time.Minute)
+	ok, _, _ := b.allow() // dispatched while closed
+	if !ok {
+		t.Fatal("closed breaker refused")
+	}
+	b.allow()
+	b.record(false, false) // another request opens the breaker first
+	if tr := b.record(false, false); tr != nil {
+		t.Fatalf("late failure on an already-open breaker transitioned: %v", tr)
+	}
+	if got := b.state(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}

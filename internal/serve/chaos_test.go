@@ -1,0 +1,272 @@
+package serve
+
+// The acceptance scenario for the serving layer: with 2/5 members armed
+// (one hanging past its deadline, one panicking), the server keeps
+// answering with the correct majority vote at quorum 3/5; both bad
+// members' breakers open within the configured threshold; after the
+// cooldown a half-open probe restores the healed member and re-opens the
+// still-broken one. Every deadline and cooldown runs on an injected
+// FakeClock — the test performs zero wall-clock sleeps.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/obs"
+)
+
+// memoSink records events under a mutex for later inspection.
+type memoSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+// Emit implements obs.Sink.
+func (m *memoSink) Emit(e obs.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, e)
+}
+
+// forKey returns the recorded events whose Key matches, in order.
+func (m *memoSink) forKey(key string) []obs.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []obs.Event
+	for _, e := range m.events {
+		if e.Key == key {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestChaosDegradedQuorumAndRecovery(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	s, err := New(fiveMembers(), 3, Options{
+		Clock:            clk,
+		MemberDeadline:   100 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Second,
+		Sink:             sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the faults. "hangs" sleeps an hour — far past the deadline; the
+	// goroutine outlives its request and keeps the member mutex, so later
+	// dispatches to it queue up and time out too (a truly wedged replica).
+	// "crash" panics after a short delay, and every other member sleeps
+	// the same short delay so the test can rendezvous with all of them on
+	// the fake clock before advancing time.
+	chaos.Arm("serve/member", "/hangs", chaos.Action{Delay: time.Hour})
+	chaos.Arm("serve/member", "/crash", chaos.Action{Delay: 10 * time.Millisecond, Panic: true})
+	chaos.Arm("serve/member", "", chaos.Action{Delay: 10 * time.Millisecond})
+
+	// run choreographs one request: spawn it, wait until sleepers timers
+	// are parked on the clock, release the short delays, barrier on the
+	// fast members' mutexes (the outcome send happens under the member
+	// mutex, so acquiring it proves the answer was delivered), then push
+	// time past the deadline.
+	type reply struct {
+		res *Result
+		err error
+	}
+	run := func(sleepers int, fast []int) (*Result, error) {
+		t.Helper()
+		done := make(chan reply, 1)
+		go func() {
+			res, err := s.Predict(batch())
+			done <- reply{res, err}
+		}()
+		clk.BlockUntil(sleepers)
+		clk.Advance(10 * time.Millisecond)
+		for _, i := range fast {
+			s.memberMu[i].Lock()
+			s.memberMu[i].Unlock()
+		}
+		clk.Advance(90 * time.Millisecond)
+		r := <-done
+		return r.res, r.err
+	}
+	wantPreds := func(res *Result, want int) {
+		t.Helper()
+		for i, p := range res.Pred {
+			if p != want {
+				t.Fatalf("row %d: pred = %d, want %d", i, p, want)
+			}
+		}
+	}
+	wantStatus := func(res *Result, statuses ...MemberStatus) {
+		t.Helper()
+		for i, st := range statuses {
+			if res.Reports[i].Status != st {
+				t.Fatalf("member %s: status %v, want %v", res.Reports[i].Name, res.Reports[i].Status, st)
+			}
+		}
+	}
+
+	// Request 1: 5 member sleeps + 1 deadline timer parked. The hang
+	// misses the deadline, the crash panics; alpha+bravo+echo vote.
+	res, err := run(6, []int{0, 1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum != 3 || res.Members != 5 {
+		t.Fatalf("request 1 quorum = %d/%d, want 3/5", res.Quorum, res.Members)
+	}
+	wantPreds(res, 1) // alpha+bravo vote 1, echo votes 2 — majority holds
+	wantStatus(res, StatusOK, StatusOK, StatusTimeout, StatusPanic, StatusOK)
+	// Survivor mass for class 1: (0.5+0.5+0.25) scaled by the same
+	// runtime reciprocal dispatch uses, so the comparison is bit-exact.
+	quorum := float64(res.Quorum)
+	if want := 1.25 * (1 / quorum); res.Probs.At(0, 1) != want {
+		t.Fatalf("mean prob over survivors = %v, want %v", res.Probs.At(0, 1), want)
+	}
+	for i, st := range s.BreakerStates() {
+		if st != BreakerClosed {
+			t.Fatalf("breaker %d = %v after one failure (threshold 2), want closed", i, st)
+		}
+	}
+
+	// Request 2: the stale hang goroutine still holds the member mutex, so
+	// this request's dispatch to "hangs" queues behind it and times out as
+	// well (it never reaches the clock: 4 new sleeps + timer + the stale
+	// hour-long sleep = 6 waiters). Second consecutive failure opens both
+	// breakers.
+	res, err = run(6, []int{0, 1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum != 3 {
+		t.Fatalf("request 2 quorum = %d, want 3", res.Quorum)
+	}
+	wantStatus(res, StatusOK, StatusOK, StatusTimeout, StatusPanic, StatusOK)
+	states := s.BreakerStates()
+	if states[2] != BreakerOpen || states[3] != BreakerOpen {
+		t.Fatalf("breakers after threshold = %v, want hangs and crash open", states)
+	}
+	var opened []string
+	for _, e := range sink.forKey("req-000002") {
+		if e.Kind == obs.KindBreakerChange && e.Detail == "closed→open" {
+			opened = append(opened, e.Member)
+		}
+	}
+	if fmt.Sprint(opened) != "[hangs crash]" {
+		t.Fatalf("closed→open events for %v, want [hangs crash]", opened)
+	}
+
+	// Request 3: open breakers skip both bad members entirely — only three
+	// members sleep (plus the timer and the stale hour-long sleep = 5
+	// waiters), and no new work lands on the wedged replica.
+	res, err = run(5, []int{0, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum != 3 {
+		t.Fatalf("request 3 quorum = %d, want 3", res.Quorum)
+	}
+	wantPreds(res, 1)
+	wantStatus(res, StatusOK, StatusOK, StatusOpen, StatusOpen, StatusOK)
+	if w := clk.Waiters(); w != 1 { // only the stale hour-long sleep remains
+		t.Fatalf("open breakers left %d clock waiters, want 1", w)
+	}
+
+	// Heal "hangs": disarm everything and let the hour elapse so the stale
+	// goroutine finally wakes, parks its (ignored) answer, and releases
+	// the member mutex. The elapsed hour also covers the 10s breaker
+	// cooldown, so the next request probes both open breakers. Re-arm only
+	// request 4's crash (scoped by request ID so the stale goroutines
+	// cannot match), with the usual short delay for the rendezvous.
+	chaos.Reset()
+	clk.Advance(time.Hour)
+	chaos.Arm("serve/member", "req-000004/crash", chaos.Action{Delay: 10 * time.Millisecond, Panic: true})
+	chaos.Arm("serve/member", "req-000004/", chaos.Action{Delay: 10 * time.Millisecond})
+
+	// Request 4: both breakers go half-open and probe. The healed "hangs"
+	// answers — probe success closes its breaker; "crash" panics again —
+	// probe failure re-opens with a fresh cooldown. Quorum recovers to 4/5.
+	res, err = run(6, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum != 4 || res.Members != 5 {
+		t.Fatalf("request 4 quorum = %d/%d, want 4/5", res.Quorum, res.Members)
+	}
+	wantPreds(res, 1)
+	wantStatus(res, StatusOK, StatusOK, StatusOK, StatusPanic, StatusOK)
+	states = s.BreakerStates()
+	if states[2] != BreakerClosed {
+		t.Fatalf("healed member breaker = %v, want closed", states[2])
+	}
+	if states[3] != BreakerOpen {
+		t.Fatalf("still-broken member breaker = %v, want open", states[3])
+	}
+
+	// The request's event sequence tells the whole story, in order.
+	var got []string
+	for _, e := range sink.forKey("req-000004") {
+		line := e.Kind.String()
+		if e.Member != "" {
+			line += " " + e.Member
+		}
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		got = append(got, line)
+	}
+	want := []string{
+		"req-admit",
+		"breaker-change hangs open→half-open",
+		"breaker-change crash open→half-open",
+		"breaker-change hangs half-open→closed",
+		"member-panic crash",
+		"breaker-change crash half-open→open",
+		"req-done 4/5",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("request 4 events:\n got %q\nwant %q", got, want)
+	}
+
+	if w := clk.Waiters(); w != 0 {
+		t.Fatalf("test left %d clock waiters; every sleep should be accounted for", w)
+	}
+}
+
+func TestChaosFailFastBelowQuorum(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	clk := chaos.NewFake()
+	s, err := New(fiveMembers(), 3, Options{Clock: clk, MemberDeadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break 4/5 members with immediate errors: no clock choreography is
+	// needed because nothing sleeps — the request must fail fast.
+	boom := fmt.Errorf("replica wedged: %w", chaos.ErrInjected)
+	for _, pat := range []string{"/alpha", "/bravo", "/hangs", "/crash"} {
+		chaos.Arm("serve/member", pat, chaos.Action{Err: boom})
+	}
+	_, err = s.Predict(batch())
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %T, want *QuorumError", err)
+	}
+	if qe.Got != 1 || qe.Need != 3 || qe.Members != 5 {
+		t.Fatalf("quorum error = %+v, want Got 1 Need 3 Members 5", qe)
+	}
+	if w := clk.Waiters(); w != 0 {
+		t.Fatalf("fail-fast path left %d clock waiters", w)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+// Events must never perturb results, and per request they must tell a
+// deterministic story: however many requests run concurrently, the
+// events sharing one request ID always form the same ordered sequence,
+// because dispatch emits them only from the request's own goroutine in
+// member index order. This test hammers the server from many goroutines
+// under -race and checks every per-request sequence shape.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+)
+
+func TestEventOrderDeterministicPerRequest(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	sink := &memoSink{}
+	s, err := New(fiveMembers(), 3, Options{
+		// Wall clock on purpose: real goroutine scheduling, huge deadline
+		// so nothing ever times out, huge threshold so no breaker moves.
+		MemberDeadline:   time.Hour,
+		BreakerThreshold: 1000,
+		QueueCapacity:    8,
+		Sink:             sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One member always panics, so every admitted request carries a
+	// member event between admit and done.
+	chaos.Arm("serve/member", "/crash", chaos.Action{Panic: true})
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Predict(batch())
+			switch {
+			case errors.Is(err, ErrOverloaded):
+			case err != nil:
+				t.Errorf("predict: %v", err)
+			case res.Quorum != 4:
+				t.Errorf("quorum = %d, want 4", res.Quorum)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A request that finds every admission slot taken emits exactly one
+	// shed event; occupy the slots directly to force the path.
+	for i := 0; i < cap(s.slots); i++ {
+		s.slots <- struct{}{}
+	}
+	if _, err := s.Predict(batch()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: err = %v, want ErrOverloaded", err)
+	}
+	shedID := fmt.Sprintf("req-%06d", s.seq.Load())
+	for i := 0; i < cap(s.slots); i++ {
+		<-s.slots
+	}
+
+	// Group the interleaved stream by request ID; every sequence must be
+	// exactly the admitted story or exactly the shed story.
+	sink.mu.Lock()
+	seqs := make(map[string][]string)
+	for _, e := range sink.events {
+		line := e.Kind.String()
+		if e.Member != "" {
+			line += " " + e.Member
+		}
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		seqs[e.Key] = append(seqs[e.Key], line)
+	}
+	sink.mu.Unlock()
+
+	if len(seqs) != n+1 {
+		t.Fatalf("saw %d request IDs, want %d", len(seqs), n+1)
+	}
+	admitted := fmt.Sprint([]string{"req-admit", "member-panic crash", "req-done 4/5"})
+	shed := fmt.Sprint([]string{"req-shed"})
+	for key, seq := range seqs {
+		got := fmt.Sprint(seq)
+		if got != admitted && got != shed {
+			t.Fatalf("request %s events out of order: %q", key, seq)
+		}
+	}
+	if got := fmt.Sprint(seqs[shedID]); got != shed {
+		t.Fatalf("forced shed %s events = %q, want %q", shedID, got, shed)
+	}
+}
