@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race chaos serve-chaos bench bench-parallel repro examples vet vet-docs lint fmt clean
+.PHONY: build test test-race chaos serve-chaos bench bench-serve bench-parallel repro examples vet vet-docs lint fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -55,6 +55,25 @@ serve-chaos:
 # Full benchmark suite: regenerates every table/figure once (tiny scale).
 bench:
 	go test -bench=. -benchmem -timeout 120m ./...
+
+# Serving/tensor benchmark trajectory: regenerate the committed
+# BENCH_serve.json (single vs batched dispatch at B=1/8/32/128) and
+# BENCH_tensor.json (batched vs per-example Im2Col+MatMul) baselines.
+# SHORT=1 runs a trimmed grid into /tmp instead — the CI smoke mode,
+# which exercises the emission path without touching the committed
+# numbers (CI hardware is not "the same hardware").
+bench-serve:
+ifdef SHORT
+	TDFM_BENCH_OUT=/tmp/BENCH_serve.json TDFM_BENCH_SHORT=1 \
+	    go test -run '^TestEmitServeBenchJSON$$' -v -timeout 30m ./internal/serve/
+	TDFM_BENCH_OUT=/tmp/BENCH_tensor.json TDFM_BENCH_SHORT=1 \
+	    go test -run '^TestEmitTensorBenchJSON$$' -v -timeout 30m ./internal/tensor/
+else
+	TDFM_BENCH_OUT=$(CURDIR)/BENCH_serve.json \
+	    go test -run '^TestEmitServeBenchJSON$$' -v -timeout 60m ./internal/serve/
+	TDFM_BENCH_OUT=$(CURDIR)/BENCH_tensor.json \
+	    go test -run '^TestEmitTensorBenchJSON$$' -v -timeout 60m ./internal/tensor/
+endif
 
 # Parallel-speedup check (E11): run the §IV-E overhead grid serially and at
 # $(WORKERS) workers, then print the wall-clock ratio.

@@ -8,7 +8,8 @@
 //	tdfmserve -addr :8089 -dataset gtsrblike -technique ens \
 //	          [-scale tiny] [-seed 1] [-epochs E] [-workers W] \
 //	          [-member-deadline 2s] [-min-quorum 0] [-queue 64] \
-//	          [-breaker-threshold 3] [-breaker-cooldown 10s]
+//	          [-breaker-threshold 3] [-breaker-cooldown 10s] \
+//	          [-batch-cap 32] [-batch-window 2ms]
 //
 // The API:
 //
@@ -67,6 +68,8 @@ func run(args []string, ready chan<- string) error {
 		queue       = fs.Int("queue", 64, "admission queue capacity; overflow is shed with 429")
 		brThreshold = fs.Int("breaker-threshold", 3, "consecutive member failures that open its breaker")
 		brCooldown  = fs.Duration("breaker-cooldown", 10*time.Second, "open-breaker wait before a half-open probe")
+		batchCap    = fs.Int("batch-cap", 0, "micro-batch row cap; >1 stacks admitted requests into one forward pass (0 = per-request dispatch)")
+		batchWindow = fs.Duration("batch-window", 0, "micro-batch collection window (0 = 2ms default when -batch-cap > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +94,8 @@ func run(args []string, ready chan<- string) error {
 		QueueCapacity:    *queue,
 		BreakerThreshold: *brThreshold,
 		BreakerCooldown:  *brCooldown,
+		BatchCap:         *batchCap,
+		BatchWindow:      *batchWindow,
 	})
 	if err != nil {
 		return err

@@ -115,6 +115,11 @@ func Firings() int {
 	return firings
 }
 
+// Armed reports whether any faultpoint is currently armed anywhere: a
+// single atomic load. Hot paths use it to skip building Check labels
+// (string concatenation) while the harness is idle.
+func Armed() bool { return armed.Load() }
+
 // Check reports the action armed at the named point for the given label,
 // or nil when nothing fires. When nothing is armed anywhere the cost is a
 // single atomic load, so faultpoints are safe on hot paths.

@@ -24,24 +24,31 @@ type builtModel struct {
 
 var _ Classifier = (*builtModel)(nil)
 
-// predictBatch bounds memory use during inference.
+// predictBatch bounds memory use during inference: the im2col expansion
+// of a conv layer is the peak allocation, and it grows linearly with the
+// chunk's row count.
 const predictBatch = 128
 
-// PredictProbs runs inference in batches and returns softmax probabilities.
+// PredictProbs runs inference and returns softmax probabilities. Inputs
+// larger than predictBatch rows run in chunks addressed as zero-copy
+// SliceRows views (no staging copy on the serving hot path). Every layer's
+// inference forward is row-independent — conv/im2col, pooling, and dense
+// act per image, batch norm uses running statistics — so the chunk
+// boundaries never influence the result: probabilities are bit-identical
+// for any batch size, which is what lets the serving tier stack many
+// requests into one forward pass and demux the rows afterwards.
 func (m *builtModel) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
+	if n <= predictBatch {
+		return loss.Softmax(m.net.Forward(x, false))
+	}
 	out := tensor.New(n, m.classes)
-	ss := x.Size() / n
 	for start := 0; start < n; start += predictBatch {
 		end := start + predictBatch
 		if end > n {
 			end = n
 		}
-		shape := x.Shape()
-		shape[0] = end - start
-		chunk := tensor.New(shape...)
-		copy(chunk.Data(), x.Data()[start*ss:end*ss])
-		probs := loss.Softmax(m.net.Forward(chunk, false))
+		probs := loss.Softmax(m.net.Forward(x.SliceRows(start, end), false))
 		copy(out.Data()[start*m.classes:end*m.classes], probs.Data())
 	}
 	return out

@@ -111,6 +111,9 @@ func NewDepthwiseConv2D(name string, ch, k, stride, pad int, rng *xrand.RNG) *De
 
 // Forward computes the per-channel convolution with direct loops (channel
 // counts in the scaled model zoo are small, so im2col would not pay off).
+// The batch dimension shards across the worker budget: each image's
+// output plane is written by exactly one worker, so results are
+// bit-identical at any worker count and batch size.
 func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != d.ch {
 		panic(fmt.Sprintf("nn: DepthwiseConv2D %s expects [N,%d,H,W], got %v", d.w.Name, d.ch, x.Shape()))
@@ -120,38 +123,46 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tenso
 	out := tensor.New(n, d.ch, oh, ow)
 	xd, od, wd, bd := x.Data(), out.Data(), d.w.W.Data(), d.b.W.Data()
 	k := d.geom.KH
-	for img := 0; img < n; img++ {
-		for ch := 0; ch < d.ch; ch++ {
-			inBase := (img*d.ch + ch) * h * w
-			outBase := (img*d.ch + ch) * oh * ow
-			kBase := ch * k * k
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*d.geom.StrideH - d.geom.PadH
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*d.geom.StrideW - d.geom.PadW
-					s := bd[ch]
-					for ky := 0; ky < k; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < k; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							s += xd[inBase+iy*w+ix] * wd[kBase+ky*k+kx]
-						}
-					}
-					od[outBase+oy*ow+ox] = s
-				}
-			}
+	tensor.Shard(n, n*d.ch*oh*ow*k*k, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			d.forwardImage(img, h, w, oh, ow, xd, od, wd, bd)
 		}
-	}
+	})
 	if training {
 		d.x, d.oh, d.ow = x, oh, ow
 	}
 	return out
+}
+
+// forwardImage computes one image's depthwise convolution.
+func (d *DepthwiseConv2D) forwardImage(img, h, w, oh, ow int, xd, od, wd, bd []float64) {
+	k := d.geom.KH
+	for ch := 0; ch < d.ch; ch++ {
+		inBase := (img*d.ch + ch) * h * w
+		outBase := (img*d.ch + ch) * oh * ow
+		kBase := ch * k * k
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*d.geom.StrideH - d.geom.PadH
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*d.geom.StrideW - d.geom.PadW
+				s := bd[ch]
+				for ky := 0; ky < k; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						s += xd[inBase+iy*w+ix] * wd[kBase+ky*k+kx]
+					}
+				}
+				od[outBase+oy*ow+ox] = s
+			}
+		}
+	}
 }
 
 // Backward accumulates filter/bias gradients and returns the input gradient.

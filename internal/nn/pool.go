@@ -41,41 +41,46 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 		arg = make([]int, out.Size())
 	}
 	xd, od := x.Data(), out.Data()
-	for img := 0; img < n; img++ {
-		for ch := 0; ch < c; ch++ {
-			inBase := (img*c + ch) * h * w
-			outBase := (img*c + ch) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy * m.geom.StrideH
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox * m.geom.StrideW
-					best := math.Inf(-1)
-					bestIdx := -1
-					for ky := 0; ky < m.geom.KH; ky++ {
-						iy := iy0 + ky
-						if iy >= h {
-							break
-						}
-						for kx := 0; kx < m.geom.KW; kx++ {
-							ix := ix0 + kx
-							if ix >= w {
+	// Batch-first sharding: each image's output (and argmax) block is
+	// written by exactly one worker, so any worker count and batch size
+	// reproduce the serial result bit for bit.
+	tensor.Shard(n, n*c*oh*ow*m.geom.KH*m.geom.KW, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			for ch := 0; ch < c; ch++ {
+				inBase := (img*c + ch) * h * w
+				outBase := (img*c + ch) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy0 := oy * m.geom.StrideH
+					for ox := 0; ox < ow; ox++ {
+						ix0 := ox * m.geom.StrideW
+						best := math.Inf(-1)
+						bestIdx := -1
+						for ky := 0; ky < m.geom.KH; ky++ {
+							iy := iy0 + ky
+							if iy >= h {
 								break
 							}
-							idx := inBase + iy*w + ix
-							if xd[idx] > best {
-								best, bestIdx = xd[idx], idx
+							for kx := 0; kx < m.geom.KW; kx++ {
+								ix := ix0 + kx
+								if ix >= w {
+									break
+								}
+								idx := inBase + iy*w + ix
+								if xd[idx] > best {
+									best, bestIdx = xd[idx], idx
+								}
 							}
 						}
-					}
-					o := outBase + oy*ow + ox
-					od[o] = best
-					if training {
-						arg[o] = bestIdx
+						o := outBase + oy*ow + ox
+						od[o] = best
+						if training {
+							arg[o] = bestIdx
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	if training {
 		m.argmax = arg
 		m.inLen = x.Size()
@@ -121,16 +126,20 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tenso
 	out := tensor.New(n, c)
 	xd, od := x.Data(), out.Data()
 	area := float64(h * w)
-	for img := 0; img < n; img++ {
-		for ch := 0; ch < c; ch++ {
-			base := (img*c + ch) * h * w
-			s := 0.0
-			for i := 0; i < h*w; i++ {
-				s += xd[base+i]
+	// Batch-first sharding with per-image output rows; bit-identical at
+	// any worker count (the per-channel accumulation stays serial).
+	tensor.Shard(n, n*c*h*w, func(imgLo, imgHi int) {
+		for img := imgLo; img < imgHi; img++ {
+			for ch := 0; ch < c; ch++ {
+				base := (img*c + ch) * h * w
+				s := 0.0
+				for i := 0; i < h*w; i++ {
+					s += xd[base+i]
+				}
+				od[img*c+ch] = s / area
 			}
-			od[img*c+ch] = s / area
 		}
-	}
+	})
 	if training {
 		g.inN, g.inC, g.inH, g.inW = n, c, h, w
 	}

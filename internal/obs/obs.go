@@ -89,6 +89,11 @@ const (
 	// Event.Member names the member and Event.Detail the transition
 	// ("closed→open", "open→half-open", "half-open→closed", …).
 	KindBreakerChange
+	// KindBatchFlush reports the micro-batcher flushing one batch of
+	// admitted requests through a shared ensemble fan-out; Event.Key is
+	// the batch ID, Event.N the request count, and Event.Detail the flush
+	// reason plus row total ("window rows=12", "cap rows=32", …).
+	KindBatchFlush
 )
 
 // String returns a stable lower-case name for the kind.
@@ -130,6 +135,8 @@ func (k Kind) String() string {
 		return "member-error"
 	case KindBreakerChange:
 		return "breaker-change"
+	case KindBatchFlush:
+		return "batch-flush"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -146,8 +153,9 @@ type Event struct {
 	// Dur is the training wall-clock for KindCellFinish and
 	// KindCellRestored.
 	Dur time.Duration
-	// N is the scheduled-cell count for KindGridPlan and the failed
-	// attempt number for KindCellRetry.
+	// N is the scheduled-cell count for KindGridPlan, the failed attempt
+	// number for KindCellRetry, and the batched request count for
+	// KindBatchFlush.
 	N int
 	// Err carries the failure for KindJournalError, failed KindCellFinish,
 	// and the cell-failure kinds (retry, panic, diverged, cancelled), plus

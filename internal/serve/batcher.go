@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/obs"
+	"tdfm/internal/tensor"
+)
+
+// batchRequest is one admitted request parked in the batcher: its input
+// rows, and the channel its demuxed result is delivered on (buffered
+// with one slot, so the flush never blocks on a slow consumer).
+type batchRequest struct {
+	id   string
+	x    *tensor.Tensor // [rows, C, H, W]
+	rows int
+	done chan batchReply
+}
+
+// batchReply is one request's demuxed share of a flushed batch.
+type batchReply struct {
+	res *Result
+	err error
+}
+
+// batcher is the micro-batching admission layer: it collects admitted
+// requests until the batch window elapses on the injected clock or the
+// row cap is reached, stacks them into one [N, C, H, W] tensor, runs a
+// single fan-out over the ensemble (one batched PredictProbs per
+// member), and demuxes the per-request row slices back through each
+// request's reply channel.
+//
+// All state lives in the collect goroutine; requests communicate only
+// through the submit channel, so there is no lock ordering to get wrong
+// and the flush decision (window vs cap vs drain) is a deterministic
+// function of the submit/timer sequence. The pending counter is the one
+// piece of shared state, exposed so tests (and Pending) can rendezvous
+// with the collect loop without wall-clock sleeps.
+type batcher struct {
+	s      *Server
+	submit chan *batchRequest
+	drain  chan struct{} // closed by the first Drain: flush eagerly from now on
+	done   chan struct{} // closed when the collect loop exits
+
+	seq     atomic.Uint64 // batch ID counter
+	pending atomic.Int64  // requests parked in the current partial batch
+}
+
+// newBatcher starts the collect loop for s. The submit channel is
+// buffered to the batch cap so a submitter enqueues without waiting for
+// a collect-loop rendezvous (two scheduler switches per request on a
+// busy server); Pending still counts only requests the loop has folded
+// into the current batch, which is what tests rendezvous on.
+func newBatcher(s *Server) *batcher {
+	b := &batcher{
+		s:      s,
+		submit: make(chan *batchRequest, s.opts.BatchCap),
+		drain:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// The collect loop is the batcher's serialization point: it must
+	// outlive any single request, so it cannot run on a request
+	// goroutine. It exits when Drain closes submit after the last
+	// in-flight request finished.
+	go b.collect() //tdfm:allow nodeterminism the collect loop only reorders requests into batches; per-row results are batch-invariant and per-request events are emitted from the request's own goroutine, so schedule cannot leak into results
+	return b
+}
+
+// collect is the batcher's event loop. Flushes happen when the batch
+// window (armed on the injected clock at the first request of a batch)
+// fires, when buffered rows reach BatchCap, or eagerly once draining.
+func (b *batcher) collect() {
+	defer close(b.done)
+	var (
+		buf      []*batchRequest
+		rows     int
+		timer    chaos.Timer
+		timerC   <-chan time.Time
+		draining bool
+		drainC   = b.drain
+	)
+	flush := func(reason string) {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		b.flush(buf, rows, reason)
+		buf, rows = nil, 0
+		b.pending.Store(0)
+	}
+	for {
+		select {
+		case r, ok := <-b.submit:
+			if !ok {
+				// Drain closed submit after the last in-flight request
+				// finished; nothing can be buffered at this point.
+				if len(buf) > 0 {
+					flush("close")
+				}
+				return
+			}
+			buf = append(buf, r)
+			rows += r.rows
+			b.pending.Add(1)
+			switch {
+			case rows >= b.s.opts.BatchCap || draining:
+				reason := "cap"
+				if draining {
+					reason = "drain"
+				}
+				flush(reason)
+			case timer == nil:
+				timer = b.s.opts.Clock.NewTimer(b.s.opts.BatchWindow)
+				timerC = timer.C()
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush("window")
+		case <-drainC:
+			// From now on every partial batch flushes immediately: the
+			// window timer may never fire again (a test's FakeClock stops
+			// advancing once Drain starts), and no request may be left
+			// parked behind it.
+			draining, drainC = true, nil
+			if len(buf) > 0 {
+				flush("drain")
+			}
+		}
+	}
+}
+
+// flush stacks the buffered requests into one tensor, fans it out to the
+// ensemble once, and demuxes each request's row slice into its own
+// degraded-quorum vote. Member failures (a hang past the deadline, a
+// panic, an open breaker) drop the member for the whole batch — every
+// request in the batch then votes over the same surviving members, so
+// the quorum "k/n" is a batch property while the vote itself stays
+// per-request. Each request receives its own Result (reports copied, not
+// shared) or *QuorumError.
+func (b *batcher) flush(buf []*batchRequest, rows int, reason string) {
+	if len(buf) == 0 {
+		return
+	}
+	// Like request keys, the batch key only feeds events and chaos
+	// labels; skip the formatting when nothing is observing.
+	var batchID string
+	if b.s.opts.Sink != nil || chaos.Armed() {
+		batchID = reqKey("batch-", b.seq.Add(1))
+	} else {
+		b.seq.Add(1)
+	}
+	if b.s.opts.Sink != nil {
+		b.s.emit(obs.Event{Kind: obs.KindBatchFlush, Key: batchID, N: len(buf),
+			Detail: fmt.Sprintf("%s rows=%d", reason, rows)})
+	}
+	x := buf[0].x
+	if len(buf) > 1 {
+		parts := make([]*tensor.Tensor, len(buf))
+		for i, r := range buf {
+			parts[i] = r.x
+		}
+		x = tensor.ConcatRows(parts...)
+	}
+	probs, reports := b.s.fanout(batchID, x)
+	off := 0
+	for _, r := range buf {
+		res, err := b.s.vote(probs, reports, off, off+r.rows)
+		if res != nil {
+			res.Reports = append([]MemberReport(nil), reports...)
+		}
+		off += r.rows
+		r.done <- batchReply{res: res, err: err}
+	}
+}
+
+// run submits one admitted request to the batcher and waits for its
+// share of the flushed batch. Called from the request's own goroutine
+// (Predict), which holds an admission slot and an inflight count for the
+// whole wait.
+func (b *batcher) run(reqID string, x *tensor.Tensor) (*Result, error) {
+	r := &batchRequest{id: reqID, x: x, rows: x.Dim(0), done: make(chan batchReply, 1)}
+	b.submit <- r
+	reply := <-r.done
+	return reply.res, reply.err
+}
+
+// Pending reports how many admitted requests are parked in the current
+// partial batch, waiting for the window or the cap. Tests use it to
+// rendezvous with the collect loop deterministically (poll until the
+// expected requests are parked, then advance the fake clock); operators
+// can read it as a queue-depth gauge.
+func (s *Server) Pending() int {
+	if s.batch == nil {
+		return 0
+	}
+	return int(s.batch.pending.Load())
+}

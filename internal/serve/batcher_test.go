@@ -1,0 +1,462 @@
+package serve
+
+// The micro-batcher's contract: admitted requests park until the batch
+// window elapses on the injected clock, the row cap is reached, or a
+// drain begins — then one fan-out serves the whole batch and each
+// request gets exactly its own rows back, bit-identical to what a
+// per-request dispatch would have produced. Every test here runs on a
+// FakeClock with zero wall-clock sleeps (the serve package is part of
+// the -race CI leg), using Pending() to rendezvous with the collect
+// loop and BlockUntil/Advance to drive the window and deadlines.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/obs"
+	"tdfm/internal/tensor"
+)
+
+// echoClf answers each input row with probabilities derived from that
+// row's first value v: [v, 1-v]. Distinct per-row outputs make demux
+// bugs (wrong offsets, swapped requests) visible as wrong probabilities
+// rather than coincidentally identical ones.
+type echoClf struct{}
+
+func (echoClf) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	stride := x.Size() / n
+	out := tensor.New(n, 2)
+	xd := x.Data()
+	for i := 0; i < n; i++ {
+		v := xd[i*stride]
+		out.SetRow(i, []float64{v, 1 - v})
+	}
+	return out
+}
+
+func (e echoClf) Predict(x *tensor.Tensor) []int {
+	return e.PredictProbs(x).ArgMaxRows()
+}
+
+// fiveEcho builds a five-member echo ensemble (same names as
+// fiveMembers, so the chaos patterns in these tests read the same).
+// All members echo identically, so the quorum mean over any alive
+// subset equals the echo itself when the row values are small dyadic
+// rationals (their sums and /k scalings are exact).
+func fiveEcho() []Member {
+	names := []string{"alpha", "bravo", "hangs", "crash", "echo"}
+	ms := make([]Member, len(names))
+	for i, n := range names {
+		ms[i] = Member{Name: n, Clf: echoClf{}}
+	}
+	return ms
+}
+
+// rows builds a [len(vals), 1, 2, 2] input whose row i has first value
+// vals[i] (the value echoClf echoes back).
+func rows(vals ...float64) *tensor.Tensor {
+	x := tensor.New(len(vals), 1, 2, 2)
+	for i, v := range vals {
+		x.Data()[i*4] = v
+	}
+	return x
+}
+
+// predictAsync runs s.Predict(x) on its own goroutine and returns the
+// reply channel.
+func predictAsync(s *Server, x *tensor.Tensor) <-chan batchReply {
+	ch := make(chan batchReply, 1)
+	go func() {
+		res, err := s.Predict(x)
+		ch <- batchReply{res: res, err: err}
+	}()
+	return ch
+}
+
+// waitPending spins (yielding, never sleeping) until n requests are
+// parked in the batcher's current partial batch.
+func waitPending(s *Server, n int) {
+	for s.Pending() != n {
+		runtime.Gosched()
+	}
+}
+
+// checkEcho asserts that res carries exactly the echo of vals: one
+// probability row [v, 1-v] per input row, which is what any quorum of
+// identical echo members must produce. Bitwise comparison on purpose.
+func checkEcho(t *testing.T, res *Result, vals ...float64) {
+	t.Helper()
+	if res.Probs.Dim(0) != len(vals) {
+		t.Fatalf("probs rows = %d, want %d", res.Probs.Dim(0), len(vals))
+	}
+	for i, v := range vals {
+		got0, got1 := res.Probs.At(i, 0), res.Probs.At(i, 1)
+		if math.Float64bits(got0) != math.Float64bits(v) ||
+			math.Float64bits(got1) != math.Float64bits(1-v) {
+			t.Fatalf("row %d: probs = [%v %v], want [%v %v]", i, got0, got1, v, 1-v)
+		}
+		want := 0
+		if 1-v > v {
+			want = 1
+		}
+		if res.Pred[i] != want {
+			t.Fatalf("row %d: pred = %d, want %d", i, res.Pred[i], want)
+		}
+	}
+}
+
+// flushEvents returns the recorded batch-flush events in order.
+func flushEvents(sink *memoSink) []obs.Event {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	var out []obs.Event
+	for _, e := range sink.events {
+		if e.Kind == obs.KindBatchFlush {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestBatchWindowFlushesPartialBatch(t *testing.T) {
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	s, err := New(fiveEcho(), 2, Options{
+		Clock: clk, BatchCap: 8, BatchWindow: 4 * time.Millisecond, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := predictAsync(s, rows(0.25, 0.375))
+	b := predictAsync(s, rows(0.125))
+	waitPending(s, 2)
+	// The window timer was armed when the first request parked; 3 rows
+	// never reach the cap of 8, so only the window can flush.
+	clk.BlockUntil(1)
+	clk.Advance(4 * time.Millisecond)
+
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("errs = %v, %v", ra.err, rb.err)
+	}
+	if ra.res.Quorum != 5 || rb.res.Quorum != 5 {
+		t.Fatalf("quorum = %d, %d, want 5, 5", ra.res.Quorum, rb.res.Quorum)
+	}
+	checkEcho(t, ra.res, 0.25, 0.375)
+	checkEcho(t, rb.res, 0.125)
+
+	fl := flushEvents(sink)
+	if len(fl) != 1 {
+		t.Fatalf("batch-flush events = %d, want 1", len(fl))
+	}
+	if fl[0].N != 2 || fl[0].Detail != "window rows=3" {
+		t.Fatalf("flush event = N=%d %q, want N=2 %q", fl[0].N, fl[0].Detail, "window rows=3")
+	}
+	s.Drain()
+}
+
+func TestBatchCapFlushesBeforeWindow(t *testing.T) {
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	s, err := New(fiveEcho(), 2, Options{
+		Clock: clk, BatchCap: 3, BatchWindow: time.Hour, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 + 1 rows reach the cap of 3: the flush must happen with no clock
+	// advance at all — the hour-long window never elapses in this test.
+	a := predictAsync(s, rows(0.5, 0.25))
+	b := predictAsync(s, rows(0.75))
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("errs = %v, %v", ra.err, rb.err)
+	}
+	checkEcho(t, ra.res, 0.5, 0.25)
+	checkEcho(t, rb.res, 0.75)
+
+	fl := flushEvents(sink)
+	if len(fl) != 1 {
+		t.Fatalf("batch-flush events = %d, want 1", len(fl))
+	}
+	if fl[0].N != 2 || fl[0].Detail != "cap rows=3" {
+		t.Fatalf("flush event = N=%d %q, want N=2 %q", fl[0].N, fl[0].Detail, "cap rows=3")
+	}
+	s.Drain()
+}
+
+func TestBatchDemuxRoutesRowsToRequests(t *testing.T) {
+	clk := chaos.NewFake()
+	s, err := New([]Member{{Name: "solo", Clf: echoClf{}}}, 2, Options{
+		Clock: clk, MinQuorum: 1, BatchCap: 16, BatchWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three requests with distinct row counts and distinct values; the
+	// demux must hand each exactly its own slice whatever order they
+	// arrived in the batch.
+	a := predictAsync(s, rows(0.125, 0.25, 0.375))
+	b := predictAsync(s, rows(0.5))
+	c := predictAsync(s, rows(0.625, 0.75))
+	waitPending(s, 3)
+	clk.BlockUntil(1)
+	clk.Advance(2 * time.Millisecond)
+
+	ra, rb, rc := <-a, <-b, <-c
+	for i, r := range []batchReply{ra, rb, rc} {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+	}
+	checkEcho(t, ra.res, 0.125, 0.25, 0.375)
+	checkEcho(t, rb.res, 0.5)
+	checkEcho(t, rc.res, 0.625, 0.75)
+	s.Drain()
+}
+
+func TestBatchMemberHangTimesOutWithoutCorruptingDemux(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	s, err := New(fiveEcho(), 2, Options{
+		Clock: clk, BatchCap: 8, BatchWindow: 2 * time.Millisecond,
+		MemberDeadline: 100 * time.Millisecond, BreakerThreshold: 1, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "hangs" sleeps far past the deadline; every other member sleeps a
+	// short delay so the test can rendezvous with all five on the fake
+	// clock before releasing the fast four and firing the deadline.
+	chaos.Arm("serve/member", "/hangs", chaos.Action{Delay: 10 * time.Minute})
+	chaos.Arm("serve/member", "", chaos.Action{Delay: 10 * time.Millisecond})
+
+	a := predictAsync(s, rows(0.25, 0.375))
+	b := predictAsync(s, rows(0.125))
+	waitPending(s, 2)
+	clk.BlockUntil(1)
+	clk.Advance(2 * time.Millisecond) // window fires, batch fans out
+	// Now 5 member sleeps + the deadline timer are parked. Wake the fast
+	// four, barrier on their member mutexes (the outcome send happens
+	// under the mutex, so acquiring it proves delivery), then push past
+	// the deadline so only "hangs" is declared late.
+	clk.BlockUntil(6)
+	clk.Advance(10 * time.Millisecond)
+	for _, i := range []int{0, 1, 3, 4} {
+		s.memberMu[i].Lock()
+		s.memberMu[i].Unlock()
+	}
+	clk.Advance(90 * time.Millisecond)
+
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("errs = %v, %v", ra.err, rb.err)
+	}
+	// The batch loses "hangs" for every request in it: 4/5 quorum, and
+	// the surviving echo mean is still exactly each request's own rows.
+	for _, r := range []batchReply{ra, rb} {
+		if r.res.Quorum != 4 || r.res.Members != 5 {
+			t.Fatalf("quorum = %d/%d, want 4/5", r.res.Quorum, r.res.Members)
+		}
+		for _, rep := range r.res.Reports {
+			want := StatusOK
+			if rep.Name == "hangs" {
+				want = StatusTimeout
+			}
+			if rep.Status != want {
+				t.Fatalf("member %s: status %v, want %v", rep.Name, rep.Status, want)
+			}
+		}
+	}
+	checkEcho(t, ra.res, 0.25, 0.375)
+	checkEcho(t, rb.res, 0.125)
+
+	// The timeout and the breaker transition are batch-scoped events,
+	// keyed by the batch ID (per-request events stay per-request).
+	evs := sink.forKey("batch-000001")
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind.String())
+	}
+	want := []string{"batch-flush", "member-timeout", "breaker-change"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("batch events = %v, want %v", kinds, want)
+	}
+
+	// Release the hung member so its goroutine parks its late answer and
+	// exits, then shut the batcher down.
+	clk.Advance(10 * time.Minute)
+	s.Drain()
+}
+
+func TestBatchDrainFlushesParkedRequests(t *testing.T) {
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	s, err := New(fiveEcho(), 2, Options{
+		Clock: clk, BatchCap: 8, BatchWindow: time.Hour, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two requests park behind an hour-long window that will never
+	// elapse; Drain must flush them immediately rather than strand them.
+	a := predictAsync(s, rows(0.25))
+	b := predictAsync(s, rows(0.5, 0.625))
+	waitPending(s, 2)
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("parked requests failed under drain: %v, %v", ra.err, rb.err)
+	}
+	checkEcho(t, ra.res, 0.25)
+	checkEcho(t, rb.res, 0.5, 0.625)
+	<-drained
+
+	if _, err := s.Predict(rows(0.5)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain predict: err = %v, want ErrDraining", err)
+	}
+	fl := flushEvents(sink)
+	if len(fl) != 1 || fl[0].Detail != "drain rows=3" {
+		t.Fatalf("flush events = %+v, want one %q", fl, "drain rows=3")
+	}
+	// Drain is idempotent with the batcher attached.
+	s.Drain()
+}
+
+func TestBatchKeepsAdmissionBoundAndPerRequestEvents(t *testing.T) {
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	s, err := New(fiveEcho(), 2, Options{
+		Clock: clk, BatchCap: 8, BatchWindow: 5 * time.Millisecond,
+		QueueCapacity: 2, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two parked requests hold both admission slots: batching must not
+	// widen the bound, so the third request sheds immediately — no clock
+	// advance, no waiting for the window.
+	a := predictAsync(s, rows(0.25))
+	b := predictAsync(s, rows(0.375))
+	waitPending(s, 2)
+	if _, err := s.Predict(rows(0.5)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow request: err = %v, want ErrOverloaded", err)
+	}
+
+	clk.BlockUntil(1)
+	clk.Advance(5 * time.Millisecond)
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("errs = %v, %v", ra.err, rb.err)
+	}
+
+	// Per-request event sequences are unchanged by batching: admitted
+	// requests tell [req-admit, req-done 5/5], the shed one [req-shed].
+	// Batch-scoped events live under batch-* keys, never req-* keys.
+	sink.mu.Lock()
+	seqs := make(map[string][]string)
+	for _, e := range sink.events {
+		if !strings.HasPrefix(e.Key, "req-") {
+			continue
+		}
+		line := e.Kind.String()
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		seqs[e.Key] = append(seqs[e.Key], line)
+	}
+	sink.mu.Unlock()
+	if len(seqs) != 3 {
+		t.Fatalf("saw %d request IDs, want 3", len(seqs))
+	}
+	admitted := fmt.Sprint([]string{"req-admit", "req-done 5/5"})
+	shed := fmt.Sprint([]string{"req-shed"})
+	nShed := 0
+	for key, seq := range seqs {
+		switch got := fmt.Sprint(seq); got {
+		case admitted:
+		case shed:
+			nShed++
+		default:
+			t.Fatalf("request %s events = %q, want %q or %q", key, seq, admitted, shed)
+		}
+	}
+	if nShed != 1 {
+		t.Fatalf("shed sequences = %d, want 1", nShed)
+	}
+	s.Drain()
+}
+
+func TestBatchedMatchesUnbatchedBitwise(t *testing.T) {
+	clk := chaos.NewFake()
+	unbatched, err := New(fiveEcho(), 2, Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := New(fiveEcho(), 2, Options{
+		Clock: clk, BatchCap: 4, BatchWindow: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []*tensor.Tensor{rows(0.125, 0.375), rows(0.5), rows(0.25)}
+
+	want := make([]*Result, len(inputs))
+	for i, x := range inputs {
+		if want[i], err = unbatched.Predict(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 2+1+1 rows hit the cap of 4 once all three requests are parked, so
+	// the batch flushes without any clock interaction.
+	var wg sync.WaitGroup
+	got := make([]*Result, len(inputs))
+	errs := make([]error, len(inputs))
+	for i, x := range inputs {
+		wg.Add(1)
+		go func(i int, x *tensor.Tensor) {
+			defer wg.Done()
+			got[i], errs[i] = batched.Predict(x)
+		}(i, x)
+	}
+	wg.Wait()
+
+	for i := range inputs {
+		if errs[i] != nil {
+			t.Fatalf("batched request %d: %v", i, errs[i])
+		}
+		if got[i].Quorum != want[i].Quorum || got[i].Members != want[i].Members {
+			t.Fatalf("request %d: quorum %d/%d, want %d/%d",
+				i, got[i].Quorum, got[i].Members, want[i].Quorum, want[i].Members)
+		}
+		if fmt.Sprint(got[i].Pred) != fmt.Sprint(want[i].Pred) {
+			t.Fatalf("request %d: pred %v, want %v", i, got[i].Pred, want[i].Pred)
+		}
+		gd, wd := got[i].Probs.Data(), want[i].Probs.Data()
+		if len(gd) != len(wd) {
+			t.Fatalf("request %d: probs size %d, want %d", i, len(gd), len(wd))
+		}
+		for j := range gd {
+			if math.Float64bits(gd[j]) != math.Float64bits(wd[j]) {
+				t.Fatalf("request %d probs[%d]: batched %v != unbatched %v", i, j, gd[j], wd[j])
+			}
+		}
+	}
+	batched.Drain()
+}

@@ -1,0 +1,287 @@
+package serve
+
+// Benchmarks for the serving hot path, at two levels:
+//
+//   - fanout: the dispatch core itself — one batched fan-out over
+//     [B, C, H, W] versus B single-example fan-outs, over three member
+//     flavours: "stub" (constant rows; isolates the pure dispatch
+//     machinery that micro-batching amortizes — goroutine spawns,
+//     deadline timer, breaker bookkeeping, vote), "linear" (a minimal
+//     real network), and "convnet" (the study architecture at reduced
+//     width; compute-dominated, so it bounds what batching buys on a
+//     single core where the arithmetic is identical by construction).
+//
+//   - predict: end to end through Predict — B concurrent one-row
+//     requests against a per-request server versus a micro-batching
+//     server whose cap is B, including admission, the batcher's
+//     submit/reply hops, and per-request demux.
+//
+// The gated TestEmitServeBenchJSON runs the grid through
+// testing.Benchmark and writes the trajectory to TDFM_BENCH_OUT (the
+// committed BENCH_serve.json baseline; see `make bench-serve`).
+// TDFM_BENCH_SHORT=1 trims the grid for CI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/loss"
+	"tdfm/internal/models"
+	"tdfm/internal/nn"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+const (
+	benchClasses = 3
+	benchC       = 3
+	benchHW      = 8
+)
+
+var benchSizes = []int{1, 8, 32, 128}
+
+// netClf wraps a raw network as a serving member. Benchmarks use it to
+// measure dispatch over real layer stacks without paying for training —
+// untrained weights run the same arithmetic as trained ones.
+type netClf struct {
+	net *nn.Sequential
+}
+
+func (c *netClf) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	return loss.Softmax(c.net.Forward(x, false))
+}
+
+func (c *netClf) Predict(x *tensor.Tensor) []int {
+	return c.PredictProbs(x).ArgMaxRows()
+}
+
+// benchMembers builds a three-member ensemble of the given flavour (see
+// the package comment above for what each flavour isolates).
+func benchMembers(tb testing.TB, flavour string) []Member {
+	tb.Helper()
+	ms := make([]Member, 3)
+	for i := range ms {
+		name := fmt.Sprintf("%s-%d", flavour, i)
+		rng := xrand.New(uint64(21 + i)).Split(name)
+		var net *nn.Sequential
+		switch flavour {
+		case "stub":
+			ms[i] = Member{Name: name, Clf: stubClf{row: []float64{0.25, 0.5, 0.25}}}
+			continue
+		case "linear":
+			net = nn.NewSequential(
+				nn.NewFlatten(),
+				nn.NewDense(name+"/head", benchC*benchHW*benchHW, benchClasses, rng),
+			)
+		case "convnet":
+			var err error
+			net, err = models.Build(models.ConvNet, models.BuildConfig{
+				InChannels: benchC, Height: benchHW, Width: benchHW,
+				NumClasses: benchClasses, WidthMult: 0.25, RNG: rng,
+			})
+			if err != nil {
+				tb.Fatal(err)
+			}
+		default:
+			tb.Fatalf("unknown bench member flavour %q", flavour)
+		}
+		ms[i] = Member{Name: name, Clf: &netClf{net: net}}
+	}
+	return ms
+}
+
+// benchInput builds a deterministic [n, C, H, W] batch.
+func benchInput(n int) *tensor.Tensor {
+	rng := xrand.New(5).Split("bench-serve")
+	x := tensor.New(n, benchC, benchHW, benchHW)
+	for j := range x.Data() {
+		x.Data()[j] = rng.Float64() - 0.5
+	}
+	return x
+}
+
+// benchFanout measures the dispatch core: one batched fan-out over all
+// rows versus rows single-example fan-outs, on the calling goroutine
+// (the batcher's collect loop is exactly such a caller).
+func benchFanout(b *testing.B, flavour string, rows int, batched bool) {
+	s, err := New(benchMembers(b, flavour), benchClasses, Options{QueueCapacity: rows + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := benchInput(rows)
+	singles := make([]*tensor.Tensor, rows)
+	for i := range singles {
+		singles[i] = full.SliceRows(i, i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			if _, err := s.dispatch("", full); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, x := range singles {
+				if _, err := s.dispatch("", x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*rows)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// benchPredict measures end to end: reqs concurrent one-row requests per
+// iteration. batchCap 0 is the per-request path; batchCap reqs makes
+// every iteration's requests flush as one batch (the window is only a
+// backstop).
+func benchPredict(b *testing.B, flavour string, reqs, batchCap int) {
+	s, err := New(benchMembers(b, flavour), benchClasses, Options{
+		QueueCapacity: reqs + 1,
+		BatchCap:      batchCap,
+		BatchWindow:   250 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]*tensor.Tensor, reqs)
+	full := benchInput(reqs)
+	for i := range xs {
+		xs[i] = full.SliceRows(i, i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < reqs; j++ {
+			wg.Add(1)
+			go func(x *tensor.Tensor) {
+				defer wg.Done()
+				if _, err := s.Predict(x); err != nil {
+					b.Error(err)
+				}
+			}(xs[j])
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*reqs)/b.Elapsed().Seconds(), "req/s")
+	s.Drain()
+}
+
+func BenchmarkFanout(b *testing.B) {
+	for _, flavour := range []string{"stub", "linear", "convnet"} {
+		for _, rows := range benchSizes {
+			rows, flavour := rows, flavour
+			b.Run(fmt.Sprintf("%s/single/b=%d", flavour, rows),
+				func(b *testing.B) { benchFanout(b, flavour, rows, false) })
+			b.Run(fmt.Sprintf("%s/batched/b=%d", flavour, rows),
+				func(b *testing.B) { benchFanout(b, flavour, rows, true) })
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	for _, reqs := range benchSizes {
+		reqs := reqs
+		b.Run(fmt.Sprintf("convnet/single/b=%d", reqs),
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, 0) })
+		cap := reqs
+		if cap < 2 {
+			cap = 2 // a cap of 1 disables batching; lone requests flush on the window
+		}
+		b.Run(fmt.Sprintf("convnet/batched/b=%d", reqs),
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, cap) })
+	}
+}
+
+// benchRecord and benchFile mirror the committed BENCH_*.json layout
+// (also emitted by internal/tensor's benchmark suite).
+type benchRecord struct {
+	Name       string  `json:"name"`
+	Rows       int     `json:"rows"`
+	NsPerRow   float64 `json:"ns_per_row"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+type benchFile struct {
+	Suite      string             `json:"suite"`
+	Go         string             `json:"go"`
+	MaxProcs   int                `json:"maxprocs"`
+	Benchmarks []benchRecord      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// measure runs fn through testing.Benchmark, where each fn iteration
+// processes rows rows.
+func measure(name string, rows int, fn func(b *testing.B)) benchRecord {
+	r := testing.Benchmark(fn)
+	perRow := float64(r.T.Nanoseconds()) / float64(r.N*rows)
+	return benchRecord{
+		Name:       name,
+		Rows:       rows,
+		NsPerRow:   perRow,
+		RowsPerSec: 1e9 / perRow,
+	}
+}
+
+// TestEmitServeBenchJSON measures the single-versus-batched dispatch
+// trajectory and writes it to TDFM_BENCH_OUT. Gated: without the env var
+// the test skips, so ordinary test runs never spend benchmark time.
+func TestEmitServeBenchJSON(t *testing.T) {
+	out := os.Getenv("TDFM_BENCH_OUT")
+	if out == "" {
+		t.Skip("TDFM_BENCH_OUT not set")
+	}
+	sizes := benchSizes
+	fanoutFlavours := []string{"stub", "linear", "convnet"}
+	if os.Getenv("TDFM_BENCH_SHORT") != "" {
+		sizes = []int{1, 32}
+		fanoutFlavours = []string{"stub", "convnet"}
+	}
+	f := benchFile{
+		Suite:    "serve-dispatch",
+		Go:       runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Speedups: map[string]float64{},
+	}
+	add := func(level string, single, batched benchRecord, reqs int) {
+		f.Benchmarks = append(f.Benchmarks, single, batched)
+		f.Speedups[fmt.Sprintf("%s_batched_vs_single_b%d", level, reqs)] =
+			single.NsPerRow / batched.NsPerRow
+	}
+	for _, flavour := range fanoutFlavours {
+		for _, rows := range sizes {
+			rows, flavour := rows, flavour
+			single := measure(fmt.Sprintf("fanout/%s/single/b=%d", flavour, rows), rows,
+				func(b *testing.B) { benchFanout(b, flavour, rows, false) })
+			batched := measure(fmt.Sprintf("fanout/%s/batched/b=%d", flavour, rows), rows,
+				func(b *testing.B) { benchFanout(b, flavour, rows, true) })
+			add("fanout_"+flavour, single, batched, rows)
+		}
+	}
+	for _, reqs := range sizes {
+		reqs := reqs
+		cap := reqs
+		if cap < 2 {
+			cap = 2
+		}
+		single := measure(fmt.Sprintf("predict/convnet/single/b=%d", reqs), reqs,
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, 0) })
+		batched := measure(fmt.Sprintf("predict/convnet/batched/b=%d", reqs), reqs,
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, cap) })
+		add("predict_convnet", single, batched, reqs)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d records)", out, len(f.Benchmarks))
+}

@@ -8,7 +8,7 @@ import (
 	"tdfm/internal/tensor"
 )
 
-// outcome is one member's answer (or failure) for one request.
+// outcome is one member's answer (or failure) for one dispatch.
 type outcome struct {
 	idx      int
 	probs    *tensor.Tensor
@@ -18,14 +18,28 @@ type outcome struct {
 
 // dispatch fans a request out to every member whose breaker allows it,
 // collects answers until the per-member deadline, and builds the
-// degraded-quorum result.
+// degraded-quorum result. It is the single-request path; the batched
+// path (batcher.flush) shares fanout and vote but demuxes one fan-out
+// across many requests.
+func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
+	probs, reports := s.fanout(reqID, x)
+	return s.vote(probs, reports, 0, x.Dim(0))
+}
+
+// fanout runs one batch of rows through every member whose breaker
+// allows it, under the per-member deadline, and returns each member's
+// probability output ([N, K], nil for members that were skipped, timed
+// out, panicked, or errored) alongside the per-member fate reports.
+// Breakers are updated and member/breaker events emitted, keyed by key
+// (a request ID on the single-request path, a batch ID on the batched
+// path).
 //
 // Determinism: members are dispatched, classified, and tallied in member
 // index order, and events are emitted only from this goroutine — so for
-// a fixed set of member outcomes the result and the request's event
-// sequence are schedule-independent. Which members make the deadline is
+// a fixed set of member outcomes the result and the key's event sequence
+// are schedule-independent. Which members make the deadline is
 // inherently a property of time; tests pin it with a FakeClock.
-func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
+func (s *Server) fanout(key string, x *tensor.Tensor) ([]*tensor.Tensor, []MemberReport) {
 	n := len(s.members)
 	results := make(chan outcome, n) // buffered: late members park their answer and exit
 	dispatched := make([]bool, n)
@@ -36,7 +50,7 @@ func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
 		reports[i] = MemberReport{Name: s.members[i].Name, Status: StatusOpen}
 		ok, pr, tr := s.breakers[i].allow()
 		if tr != nil {
-			s.emit(obs.Event{Kind: obs.KindBreakerChange, Key: reqID,
+			s.emit(obs.Event{Kind: obs.KindBreakerChange, Key: key,
 				Member: s.members[i].Name, Detail: tr.String()})
 		}
 		if !ok {
@@ -51,7 +65,7 @@ func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
 		// re-ordered by member index before tallying, and sharing the
 		// worker budget is deliberately avoided so a saturated training
 		// pool cannot starve serving.
-		go s.runMember(reqID, i, x, results) //tdfm:allow nodeterminism deadline requires abandoning hung members; answers are re-ordered by member index before tallying, so schedule cannot leak into the vote
+		go s.runMember(key, i, x, results) //tdfm:allow nodeterminism deadline requires abandoning hung members; answers are re-ordered by member index before tallying, so schedule cannot leak into the vote
 	}
 
 	received := make([]*outcome, n)
@@ -87,7 +101,7 @@ func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
 
 	// Classify fates, update breakers, and emit member events in member
 	// index order (never in completion order).
-	var alive []*tensor.Tensor
+	probs := make([]*tensor.Tensor, n)
 	for i := range s.members {
 		if !dispatched[i] {
 			continue
@@ -97,28 +111,46 @@ func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
 		switch {
 		case o == nil:
 			reports[i].Status = StatusTimeout
-			s.emit(obs.Event{Kind: obs.KindMemberTimeout, Key: reqID, Member: s.members[i].Name,
+			s.emit(obs.Event{Kind: obs.KindMemberTimeout, Key: key, Member: s.members[i].Name,
 				Dur: s.opts.MemberDeadline})
 			tr = s.breakers[i].record(false, probe[i])
 		case o.panicked:
 			reports[i].Status = StatusPanic
-			s.emit(obs.Event{Kind: obs.KindMemberPanic, Key: reqID, Member: s.members[i].Name, Err: o.err})
+			s.emit(obs.Event{Kind: obs.KindMemberPanic, Key: key, Member: s.members[i].Name, Err: o.err})
 			tr = s.breakers[i].record(false, probe[i])
 		case o.err != nil:
 			reports[i].Status = StatusError
-			s.emit(obs.Event{Kind: obs.KindMemberError, Key: reqID, Member: s.members[i].Name, Err: o.err})
+			s.emit(obs.Event{Kind: obs.KindMemberError, Key: key, Member: s.members[i].Name, Err: o.err})
 			tr = s.breakers[i].record(false, probe[i])
 		default:
 			reports[i].Status = StatusOK
-			alive = append(alive, o.probs)
+			probs[i] = o.probs
 			tr = s.breakers[i].record(true, probe[i])
 		}
 		if tr != nil {
-			s.emit(obs.Event{Kind: obs.KindBreakerChange, Key: reqID,
+			s.emit(obs.Event{Kind: obs.KindBreakerChange, Key: key,
 				Member: s.members[i].Name, Detail: tr.String()})
 		}
 	}
+	return probs, reports
+}
 
+// vote builds the degraded-quorum Result for rows [lo, hi) of a fanout's
+// member outputs, or a *QuorumError when fewer than MinQuorum members
+// survived. The single-request path votes over the full row range; the
+// batched path votes once per request over that request's row slice.
+// Row slices are zero-copy views, and every member's probabilities are
+// row-independent, so a request's batched vote is bit-identical to the
+// vote it would have received dispatched alone (given the same member
+// fates).
+func (s *Server) vote(probs []*tensor.Tensor, reports []MemberReport, lo, hi int) (*Result, error) {
+	var alive []*tensor.Tensor
+	for _, p := range probs {
+		if p != nil {
+			alive = append(alive, p.SliceRows(lo, hi))
+		}
+	}
+	n := len(s.members)
 	if len(alive) < s.opts.MinQuorum {
 		return nil, &QuorumError{Got: len(alive), Need: s.opts.MinQuorum, Members: n}
 	}
@@ -143,30 +175,35 @@ func (s *Server) dispatch(reqID string, x *tensor.Tensor) (*Result, error) {
 // layer buffers, and a real replica is single-threaded — and an observer
 // that subsequently acquires the mutex is guaranteed the outcome has
 // been delivered, which tests use to choreograph deadlines exactly.
-func (s *Server) runMember(reqID string, idx int, x *tensor.Tensor, out chan<- outcome) {
+func (s *Server) runMember(key string, idx int, x *tensor.Tensor, out chan<- outcome) {
 	s.memberMu[idx].Lock()
 	defer s.memberMu[idx].Unlock()
-	out <- s.memberOutcome(reqID, idx, x)
+	out <- s.memberOutcome(key, idx, x)
 }
 
 // memberOutcome runs one member's inference with panic recovery and the
 // "serve/member" chaos faultpoint applied: Delay sleeps on the injected
 // clock (a slow or hung member), Panic and Err fail the member.
-func (s *Server) memberOutcome(reqID string, idx int, x *tensor.Tensor) (o outcome) {
+func (s *Server) memberOutcome(key string, idx int, x *tensor.Tensor) (o outcome) {
 	o.idx = idx
 	defer func() {
 		if v := recover(); v != nil {
 			o.probs, o.err, o.panicked = nil, parallel.AsPanicError(v), true
 		}
 	}()
-	if act := chaos.Check("serve/member", reqID+"/"+s.members[idx].Name); act != nil {
-		act.Wait(s.opts.Clock)
-		if act.Panic {
-			panic(chaos.ErrInjected)
-		}
-		if act.Err != nil {
-			o.err = act.Err
-			return o
+	// The label concatenation is skipped while the harness is idle: the
+	// Armed check is one atomic load, the concat is an allocation per
+	// member per request.
+	if chaos.Armed() {
+		if act := chaos.Check("serve/member", key+"/"+s.members[idx].Name); act != nil {
+			act.Wait(s.opts.Clock)
+			if act.Panic {
+				panic(chaos.ErrInjected)
+			}
+			if act.Err != nil {
+				o.err = act.Err
+				return o
+			}
 		}
 	}
 	o.probs = s.members[idx].Clf.PredictProbs(x)

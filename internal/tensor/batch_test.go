@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"testing"
+
+	"tdfm/internal/xrand"
+)
+
+// refMatMul is the unblocked i-k-j reference kernel the cache-blocked
+// MatMul must match bit for bit (same ascending-p accumulation per
+// element, same skip on zero left operands).
+func refMatMul(t, u *Tensor) *Tensor {
+	m, k, n := t.Dim(0), t.Dim(1), u.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ti := t.data[i*k : (i+1)*k]
+		oi := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			a := ti[p]
+			if a == 0 {
+				continue
+			}
+			up := u.data[p*n : (p+1)*n]
+			for j, b := range up {
+				oi[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(rng *xrand.RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	rng.FillNormal(t.Data(), 0, 1)
+	return t
+}
+
+// TestMatMulBlockedBitIdentical exercises shapes that straddle the tile
+// boundaries (inner dimension and width above, below, and exactly at
+// blockK/blockN) at several worker counts; every product must be
+// bit-identical to the serial unblocked reference.
+func TestMatMulBlockedBitIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	rng := xrand.New(7)
+	shapes := [][3]int{
+		{1, 1, 1},
+		{3, 5, 2},
+		{17, blockK - 1, blockN - 1},
+		{17, blockK, blockN},
+		{17, blockK + 1, blockN + 1},
+		{64, 2*blockK + 3, 2*blockN + 5},
+		{2, 300, 40},
+		{200, 7, 300},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randTensor(rng.Split("a"), m, k)
+		// Plant exact zeros so the skip-zero fast path is exercised.
+		a.Data()[0] = 0
+		b := randTensor(rng.Split("b"), k, n)
+		want := refMatMul(a, b)
+		for _, workers := range []int{1, 2, 4} {
+			SetParallelism(workers)
+			got := a.MatMul(b)
+			if !got.SameShape(want) {
+				t.Fatalf("[%d,%d]x[%d,%d] @%dw: shape %v", m, k, k, n, workers, got.Shape())
+			}
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("[%d,%d]x[%d,%d] @%dw: element %d = %v, want %v (not bit-identical)",
+						m, k, k, n, workers, i, v, want.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulRowsIndependentOfBatch checks the batching contract directly:
+// multiplying a row slice equals the matching rows of the full product,
+// bit for bit, for batch splits that do not divide the row count evenly.
+func TestMatMulRowsIndependentOfBatch(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(4)
+	rng := xrand.New(11)
+	a := randTensor(rng.Split("a"), 37, 2*blockK+9)
+	b := randTensor(rng.Split("b"), 2*blockK+9, blockN+33)
+	full := a.MatMul(b)
+	for _, bs := range []int{1, 3, 17, 37} {
+		for lo := 0; lo < a.Dim(0); lo += bs {
+			hi := lo + bs
+			if hi > a.Dim(0) {
+				hi = a.Dim(0)
+			}
+			part := a.SliceRows(lo, hi).MatMul(b)
+			fullPart := full.SliceRows(lo, hi)
+			for i, v := range part.Data() {
+				if v != fullPart.Data()[i] {
+					t.Fatalf("batch %d rows [%d,%d): element %d = %v, want %v", bs, lo, hi, i, v, fullPart.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSliceRowsIsAView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4, 2)
+	v := x.SliceRows(1, 3)
+	if got := v.Shape(); got[0] != 2 || got[1] != 2 {
+		t.Fatalf("view shape = %v, want [2 2]", got)
+	}
+	if v.At(0, 0) != 3 || v.At(1, 1) != 6 {
+		t.Fatalf("view contents = %v", v.Data())
+	}
+	v.Set(99, 0, 0)
+	if x.At(1, 0) != 99 {
+		t.Fatal("mutating the view did not mutate the parent")
+	}
+	// 4-d slices address whole images.
+	img := New(3, 2, 2, 2)
+	img.Data()[8] = 42 // first element of image 1
+	s := img.SliceRows(1, 2)
+	if s.Dims() != 4 || s.Dim(0) != 1 || s.Data()[0] != 42 {
+		t.Fatalf("4-d slice = %v %v", s.Shape(), s.Data()[:1])
+	}
+	// Empty slices are legal; out-of-range panics.
+	if e := img.SliceRows(2, 2); e.Dim(0) != 0 {
+		t.Fatalf("empty slice dim = %d", e.Dim(0))
+	}
+	for _, bad := range [][2]int{{-1, 1}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SliceRows(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			img.SliceRows(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 1, 2)
+	b := FromSlice([]float64{3, 4, 5, 6}, 2, 2)
+	c := ConcatRows(a, b)
+	want := []float64{1, 2, 3, 4, 5, 6}
+	if c.Dim(0) != 3 || c.Dim(1) != 2 {
+		t.Fatalf("concat shape = %v", c.Shape())
+	}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("concat data = %v, want %v", c.Data(), want)
+		}
+	}
+	// The result owns fresh storage.
+	c.Set(99, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("ConcatRows aliased its input")
+	}
+	// Round-trip with SliceRows: splitting and re-concatenating an
+	// [N, C, H, W] batch is the identity.
+	rng := xrand.New(3)
+	x := randTensor(rng, 5, 2, 3, 3)
+	rt := ConcatRows(x.SliceRows(0, 2), x.SliceRows(2, 3), x.SliceRows(3, 5))
+	for i, v := range rt.Data() {
+		if v != x.Data()[i] {
+			t.Fatal("SliceRows/ConcatRows round-trip changed data")
+		}
+	}
+	// Mismatched trailing dimensions panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ConcatRows with mismatched columns did not panic")
+			}
+		}()
+		ConcatRows(a, FromSlice([]float64{1, 2, 3}, 1, 3))
+	}()
+}

@@ -1,0 +1,158 @@
+package tensor
+
+// Benchmarks for the batch-first conv path: one Im2Col + one cache-blocked
+// MatMul over a whole [N, C, H, W] batch versus the same work issued one
+// example at a time. The gated TestEmitTensorBenchJSON runs them through
+// testing.Benchmark and writes the measured trajectory to the path in
+// TDFM_BENCH_OUT (the committed BENCH_tensor.json baseline; see `make
+// bench-serve`). TDFM_BENCH_SHORT=1 trims the batch list for CI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tdfm/internal/xrand"
+)
+
+// convBenchGeom is the benchmark conv workload: 3→32 channels, 3×3
+// same-pad kernel over 16×16 inputs — the shape class the model zoo's
+// first conv layers run on the study datasets.
+var convBenchGeom = ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+
+const (
+	convBenchC    = 3
+	convBenchHW   = 16
+	convBenchOutC = 32
+)
+
+// convBenchInput builds a deterministic [n, C, H, W] batch and the conv
+// weight matrix shaped for Im2Col output.
+func convBenchInput(n int) (*Tensor, *Tensor) {
+	rng := xrand.New(11).Split("bench-conv")
+	x := New(n, convBenchC, convBenchHW, convBenchHW)
+	for i := range x.Data() {
+		x.Data()[i] = rng.Float64() - 0.5
+	}
+	w := New(convBenchC*convBenchGeom.KH*convBenchGeom.KW, convBenchOutC)
+	for i := range w.Data() {
+		w.Data()[i] = rng.Float64() - 0.5
+	}
+	return x, w
+}
+
+// convBatched is one batched conv: a single Im2Col over all n images and
+// one blocked MatMul.
+func convBatched(x, w *Tensor) *Tensor {
+	return Im2Col(x, convBenchGeom).MatMul(w)
+}
+
+// convPerExample issues the identical arithmetic one image at a time —
+// the shape of work a per-request serving path generates.
+func convPerExample(x, w *Tensor) []*Tensor {
+	n := x.Dim(0)
+	out := make([]*Tensor, n)
+	for i := 0; i < n; i++ {
+		out[i] = Im2Col(x.SliceRows(i, i+1), convBenchGeom).MatMul(w)
+	}
+	return out
+}
+
+func benchConv(b *testing.B, n int, batched bool) {
+	x, w := convBenchInput(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			convBatched(x, w)
+		} else {
+			convPerExample(x, w)
+		}
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkConvIm2ColMatMul(b *testing.B) {
+	for _, n := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("per-example/n=%d", n), func(b *testing.B) { benchConv(b, n, false) })
+		b.Run(fmt.Sprintf("batched/n=%d", n), func(b *testing.B) { benchConv(b, n, true) })
+	}
+}
+
+// benchRecord is one measured configuration in a BENCH_*.json trajectory.
+type benchRecord struct {
+	Name       string  `json:"name"`
+	Rows       int     `json:"rows"`
+	NsPerRow   float64 `json:"ns_per_row"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// benchFile is the committed benchmark baseline format shared by
+// BENCH_tensor.json and BENCH_serve.json.
+type benchFile struct {
+	Suite      string             `json:"suite"`
+	Go         string             `json:"go"`
+	MaxProcs   int                `json:"maxprocs"`
+	Benchmarks []benchRecord      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+}
+
+// writeBenchFile marshals f to path with a trailing newline.
+func writeBenchFile(path string, f benchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureRows runs fn through testing.Benchmark and converts the result
+// to a per-row record, where each fn iteration processes rows rows.
+func measureRows(name string, rows int, fn func(b *testing.B)) benchRecord {
+	r := testing.Benchmark(fn)
+	perRow := float64(r.T.Nanoseconds()) / float64(r.N*rows)
+	return benchRecord{
+		Name:       name,
+		Rows:       rows,
+		NsPerRow:   perRow,
+		RowsPerSec: 1e9 / perRow,
+	}
+}
+
+// TestEmitTensorBenchJSON measures the per-example versus batched conv
+// trajectory and writes it to TDFM_BENCH_OUT. Gated: without the env var
+// the test skips, so the ordinary test run never spends benchmark time.
+func TestEmitTensorBenchJSON(t *testing.T) {
+	out := os.Getenv("TDFM_BENCH_OUT")
+	if out == "" {
+		t.Skip("TDFM_BENCH_OUT not set")
+	}
+	sizes := []int{1, 8, 32, 128}
+	if os.Getenv("TDFM_BENCH_SHORT") != "" {
+		sizes = []int{1, 32}
+	}
+	f := benchFile{
+		Suite:    "tensor-conv",
+		Go:       runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Speedups: map[string]float64{},
+	}
+	perRow := map[string]float64{}
+	for _, n := range sizes {
+		n := n
+		single := measureRows(fmt.Sprintf("conv/per-example/n=%d", n), n,
+			func(b *testing.B) { benchConv(b, n, false) })
+		batched := measureRows(fmt.Sprintf("conv/batched/n=%d", n), n,
+			func(b *testing.B) { benchConv(b, n, true) })
+		f.Benchmarks = append(f.Benchmarks, single, batched)
+		perRow[single.Name], perRow[batched.Name] = single.NsPerRow, batched.NsPerRow
+		f.Speedups[fmt.Sprintf("batched_vs_per_example_n%d", n)] =
+			single.NsPerRow / batched.NsPerRow
+	}
+	if err := writeBenchFile(out, f); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d records)", out, len(f.Benchmarks))
+}

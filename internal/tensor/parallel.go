@@ -45,3 +45,12 @@ func pfor(n int, ops int, fn func(lo, hi int)) {
 	}
 	parallel.For(n, w, fn)
 }
+
+// Shard is pfor for batch-first kernels outside this package (the nn
+// layers' direct convolution and pooling loops): it shards [0, n) across
+// at most Parallelism() workers from the shared budget when ops (the
+// approximate inner-loop operation count) amortizes the fan-out, and
+// runs fn(0, n) inline otherwise. Callers must write disjoint output
+// regions per shard and keep the serial per-element order within a
+// shard, so every worker count reproduces the serial result bit for bit.
+func Shard(n int, ops int, fn func(lo, hi int)) { pfor(n, ops, fn) }

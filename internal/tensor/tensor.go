@@ -154,6 +154,60 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: shape, data: t.data}
 }
 
+// SliceRows returns a view of rows [lo, hi) along the leading dimension:
+// shape [hi-lo, rest...] sharing t's backing storage (mutations are
+// visible both ways, like Reshape). The serving batcher and the chunked
+// inference path use it to address sub-batches of an [N, C, H, W] or
+// [N, K] tensor without copying. It panics on an invalid range or on a
+// 0-d leading dimension it cannot slice.
+func (t *Tensor) SliceRows(lo, hi int) *Tensor {
+	if len(t.shape) == 0 {
+		panic("tensor: SliceRows on empty shape")
+	}
+	if lo < 0 || hi < lo || hi > t.shape[0] {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for leading dimension %d", lo, hi, t.shape[0]))
+	}
+	stride := 1
+	for _, d := range t.shape[1:] {
+		stride *= d
+	}
+	shape := append([]int(nil), t.shape...)
+	shape[0] = hi - lo
+	return &Tensor{shape: shape, data: t.data[lo*stride : hi*stride : hi*stride]}
+}
+
+// ConcatRows stacks tensors along the leading dimension: parts with
+// shapes [n1, rest...], [n2, rest...], … yield a fresh tensor of shape
+// [n1+n2+…, rest...]. All trailing dimensions must match. The serving
+// batcher uses it to assemble one [N, C, H, W] micro-batch from admitted
+// per-request tensors.
+func ConcatRows(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows needs at least one part")
+	}
+	rows := 0
+	for i, p := range parts {
+		if len(p.shape) != len(parts[0].shape) {
+			panic(fmt.Sprintf("tensor: ConcatRows rank mismatch %v vs %v", parts[0].shape, p.shape))
+		}
+		for d := 1; d < len(p.shape); d++ {
+			if p.shape[d] != parts[0].shape[d] {
+				panic(fmt.Sprintf("tensor: ConcatRows trailing-dimension mismatch %v vs %v (part %d)",
+					parts[0].shape, p.shape, i))
+			}
+		}
+		rows += p.shape[0]
+	}
+	shape := append([]int(nil), parts[0].shape...)
+	shape[0] = rows
+	out := New(shape...)
+	off := 0
+	for _, p := range parts {
+		off += copy(out.data[off:], p.data)
+	}
+	return out
+}
+
 // Zero sets every element to 0 in place.
 func (t *Tensor) Zero() {
 	for i := range t.data {
@@ -345,7 +399,26 @@ func (t *Tensor) SetRow(r int, vals []float64) {
 	copy(t.data[r*cols:(r+1)*cols], vals)
 }
 
+// Cache-blocking tile sizes for MatMul. A [blockK, blockN] panel of the
+// right operand is 128 KiB of float64 — it stays resident in L2 while
+// every output row in the worker's shard streams over it, instead of the
+// whole right operand being re-fetched from memory once per output row.
+// Matrices that fit inside a single tile take the untiled fast path.
+const (
+	blockK = 64  // rows of the right-operand panel (inner dimension)
+	blockN = 256 // columns of the right-operand panel (output columns)
+)
+
 // MatMul returns the matrix product t × u for 2-D tensors [m,k] × [k,n].
+//
+// The kernel is cache-blocked: each worker walks its output rows once per
+// [blockK, blockN] panel of u, so the batched inference path (one large
+// [N*OH*OW, C*KH*KW] im2col product per layer) streams panels from L2
+// instead of thrashing memory bandwidth. Blocking never reorders floating
+// point: for every output element the contributions accumulate in
+// ascending p, exactly the serial loop's order, so the product is
+// bit-identical at any worker count, tile size, and batch size (each
+// output row depends only on its own input row).
 func (t *Tensor) MatMul(u *Tensor) *Tensor {
 	if len(t.shape) != 2 || len(u.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v and %v", t.shape, u.shape))
@@ -356,22 +429,52 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", t.shape, u.shape))
 	}
 	out := New(m, n)
-	// i-k-j loop order keeps the innermost accesses sequential in both the
-	// output row and the right operand row, which matters on tiny caches.
 	// Each worker owns a contiguous block of output rows, so any worker
 	// count reproduces the serial result bit for bit.
 	pfor(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ti := t.data[i*k : (i+1)*k]
-			oi := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				a := ti[p]
-				if a == 0 {
-					continue
+		if k <= blockK && n <= blockN {
+			// Small operands: the i-k-j loop order keeps the innermost
+			// accesses sequential in both the output row and the right
+			// operand row, which matters on tiny caches.
+			for i := lo; i < hi; i++ {
+				ti := t.data[i*k : (i+1)*k]
+				oi := out.data[i*n : (i+1)*n]
+				for p := 0; p < k; p++ {
+					a := ti[p]
+					if a == 0 {
+						continue
+					}
+					up := u.data[p*n : (p+1)*n]
+					for j, b := range up {
+						oi[j] += a * b
+					}
 				}
-				up := u.data[p*n : (p+1)*n]
-				for j, b := range up {
-					oi[j] += a * b
+			}
+			return
+		}
+		for p0 := 0; p0 < k; p0 += blockK {
+			p1 := p0 + blockK
+			if p1 > k {
+				p1 = k
+			}
+			for j0 := 0; j0 < n; j0 += blockN {
+				j1 := j0 + blockN
+				if j1 > n {
+					j1 = n
+				}
+				for i := lo; i < hi; i++ {
+					ti := t.data[i*k : (i+1)*k]
+					oi := out.data[i*n+j0 : i*n+j1]
+					for p := p0; p < p1; p++ {
+						a := ti[p]
+						if a == 0 {
+							continue
+						}
+						up := u.data[p*n+j0 : p*n+j1]
+						for j, b := range up {
+							oi[j] += a * b
+						}
+					}
 				}
 			}
 		}
