@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race chaos serve-chaos bench bench-serve bench-parallel repro examples vet vet-docs lint fmt clean
+.PHONY: build test test-race chaos serve-chaos bench bench-serve bench-mem bench-parallel repro examples vet vet-docs lint fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -73,6 +73,23 @@ else
 	    go test -run '^TestEmitServeBenchJSON$$' -v -timeout 60m ./internal/serve/
 	TDFM_BENCH_OUT=$(CURDIR)/BENCH_tensor.json \
 	    go test -run '^TestEmitTensorBenchJSON$$' -v -timeout 60m ./internal/tensor/
+endif
+
+# Memory benchmarks (DESIGN.md §10): pooled vs unpooled allocation rates
+# for the training loop, the serving predict path, and the conv kernels,
+# plus the f64 vs f32 inference comparison. The allocs/op and B/op
+# columns are the point — EXPERIMENTS.md quotes them. SHORT=1 caps each
+# benchmark at a few iterations: the CI smoke mode, which proves the
+# benchmarks still run without paying for stable numbers.
+bench-mem:
+ifdef SHORT
+	go test -run '^$$' -bench '^BenchmarkAlloc|^BenchmarkConvPrecision|^BenchmarkPredictPrecision' \
+	    -benchmem -benchtime 2x -timeout 30m \
+	    ./internal/core/ ./internal/serve/ ./internal/tensor/
+else
+	go test -run '^$$' -bench '^BenchmarkAlloc|^BenchmarkConvPrecision|^BenchmarkPredictPrecision' \
+	    -benchmem -timeout 60m \
+	    ./internal/core/ ./internal/serve/ ./internal/tensor/
 endif
 
 # Parallel-speedup check (E11): run the §IV-E overhead grid serially and at

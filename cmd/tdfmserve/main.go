@@ -9,7 +9,11 @@
 //	          [-scale tiny] [-seed 1] [-epochs E] [-workers W] \
 //	          [-member-deadline 2s] [-min-quorum 0] [-queue 64] \
 //	          [-breaker-threshold 3] [-breaker-cooldown 10s] \
-//	          [-batch-cap 32] [-batch-window 2ms]
+//	          [-batch-cap 32] [-batch-window 2ms] [-precision f64|f32]
+//
+// -precision=f32 converts the trained weights to float32 once at startup
+// and serves inference at half the memory traffic; training always runs
+// in float64 and predicted classes are unchanged (DESIGN.md §10).
 //
 // The API:
 //
@@ -70,6 +74,7 @@ func run(args []string, ready chan<- string) error {
 		brCooldown  = fs.Duration("breaker-cooldown", 10*time.Second, "open-breaker wait before a half-open probe")
 		batchCap    = fs.Int("batch-cap", 0, "micro-batch row cap; >1 stacks admitted requests into one forward pass (0 = per-request dispatch)")
 		batchWindow = fs.Duration("batch-window", 0, "micro-batch collection window (0 = 2ms default when -batch-cap > 1)")
+		precision   = fs.String("precision", "f64", "inference storage precision: f64|f32 (training is always f64; f32 halves predict-path memory with identical votes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +85,13 @@ func run(args []string, ready chan<- string) error {
 	}
 	if *workersN < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workersN)
+	}
+	// Reject bad precision before spending minutes training; serve.New
+	// validates again for library callers.
+	switch serve.Precision(*precision) {
+	case serve.PrecisionF64, serve.PrecisionF32:
+	default:
+		return fmt.Errorf("unknown precision %q (want %s or %s)", *precision, serve.PrecisionF64, serve.PrecisionF32)
 	}
 	workers := *workersN
 	if workers == 0 {
@@ -96,6 +108,7 @@ func run(args []string, ready chan<- string) error {
 		BreakerCooldown:  *brCooldown,
 		BatchCap:         *batchCap,
 		BatchWindow:      *batchWindow,
+		Precision:        serve.Precision(*precision),
 	})
 	if err != nil {
 		return err
@@ -126,6 +139,9 @@ func run(args []string, ready chan<- string) error {
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "tdfmserve: %v — draining, waiting for in-flight requests\n", s)
 		srv.Drain()
+		// Buffer-pool counters at shutdown: how much predict-path
+		// allocation the pool absorbed over the process lifetime.
+		fmt.Fprintf(os.Stderr, "tdfmserve: %s\n", tensor.Stats())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return httpSrv.Shutdown(ctx)

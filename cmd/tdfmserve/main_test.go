@@ -92,6 +92,7 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-workers", "-1"},
 		{"-dataset", "nope"},
 		{"-technique", "nope"},
+		{"-precision", "f16"},
 	} {
 		if err := run(args, nil); err == nil {
 			t.Fatalf("run(%v) accepted invalid flags", args)

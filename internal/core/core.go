@@ -21,6 +21,7 @@ import (
 
 	"tdfm/internal/data"
 	"tdfm/internal/models"
+	"tdfm/internal/nn"
 	"tdfm/internal/tensor"
 	"tdfm/internal/xrand"
 )
@@ -104,6 +105,11 @@ func (c Config) buildFor(ds *data.Dataset, rng *xrand.RNG) (Classifier, *builtMo
 	if err != nil {
 		return nil, nil, err
 	}
+	// Every built network gets its own allocation arena: the training loop
+	// recycles activations after each optimizer step, inference after each
+	// chunk (DESIGN.md §10). With pooling disabled the arena is inert and
+	// allocation behaviour is exactly the historical per-call path.
+	nn.InstallArena(net, tensor.NewArena())
 	bm := &builtModel{net: net, cfg: resolved, classes: ds.NumClasses}
 	return bm, bm, nil
 }

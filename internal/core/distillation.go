@@ -103,6 +103,11 @@ func (d *distillLoss) Forward(logits, targets *tensor.Tensor) (float64, *tensor.
 	}
 	teacherLogits := d.teacherLogits(d.batchX)
 	teacherProbs := loss.SoftmaxT(teacherLogits, d.temp)
+	// The softened probabilities are fresh storage, so the teacher's
+	// activations (including teacherLogits) can recycle immediately.
+	if a := d.teacher.net.Arena(); a != nil {
+		a.Reset()
+	}
 	return d.kd.ForwardKD(logits, targets, teacherProbs)
 }
 

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tdfm/internal/data"
+	"tdfm/internal/loss"
+	"tdfm/internal/nn"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// f32Model serves a float32 inference twin of a trained network as a
+// Classifier, with the same chunked-inference contract as the float64
+// model (chunk boundaries never influence the result).
+type f32Model struct {
+	net     *nn.F32Net
+	classes int
+	// mu serializes inference for the same reason builtModel's does: the
+	// twin's arena recycles activations and is not safe for concurrent
+	// use, and serving fans concurrent requests out to shared members.
+	mu sync.Mutex
+}
+
+var _ Classifier = (*f32Model)(nil)
+
+// PredictProbs runs float32 inference and returns softmax probabilities.
+// The softmax itself runs in float64 over the (exactly converted) float32
+// logits; softmax is monotone, so each row's argmax equals the float32
+// logit argmax.
+func (m *f32Model) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := x.Dim(0)
+	if n <= predictBatch {
+		return loss.Softmax(m.net.Forward(x))
+	}
+	out := tensor.New(n, m.classes)
+	for start := 0; start < n; start += predictBatch {
+		end := start + predictBatch
+		if end > n {
+			end = n
+		}
+		probs := loss.Softmax(m.net.Forward(x.SliceRows(start, end)))
+		copy(out.Data()[start*m.classes:end*m.classes], probs.Data())
+	}
+	return out
+}
+
+// Predict returns argmax classes.
+func (m *f32Model) Predict(x *tensor.Tensor) []int {
+	return m.PredictProbs(x).ArgMaxRows()
+}
+
+// ToF32 converts a trained classifier to float32 inference storage:
+// single networks become float32 twins (nn.NewF32Net), voting ensembles
+// convert member by member. The original classifier is unchanged and
+// remains the float64 source of truth. It returns an error for
+// classifier types that cannot be converted (the serving layer surfaces
+// it per member).
+func ToF32(c Classifier) (Classifier, error) {
+	switch v := c.(type) {
+	case *builtModel:
+		net, err := nn.NewF32Net(v.net)
+		if err != nil {
+			return nil, err
+		}
+		return &f32Model{net: net, classes: v.classes}, nil
+	case *VotingClassifier:
+		members := make([]Classifier, len(v.Members))
+		for i, m := range v.Members {
+			fm, err := ToF32(m)
+			if err != nil {
+				return nil, fmt.Errorf("core: ToF32 ensemble member %d: %w", i, err)
+			}
+			members[i] = fm
+		}
+		return &VotingClassifier{Members: members, Classes: v.Classes}, nil
+	default:
+		return nil, fmt.Errorf("core: ToF32: unsupported classifier type %T", c)
+	}
+}
+
+// NewUntrained builds the configured architecture sized for ds with
+// freshly initialized (untrained) weights and returns it as a
+// Classifier. Serving tests and benchmarks use it to exercise the
+// prediction path of real architectures without paying for training.
+func NewUntrained(cfg Config, ds *data.Dataset, rng *xrand.RNG) (Classifier, error) {
+	c, _, err := cfg.buildFor(ds, rng)
+	return c, err
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tdfm/internal/models"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// TestF32VotesMatchF64AcrossModels pins the serving precision contract on
+// every study architecture: the float32 twin's per-row argmax (the
+// ensemble vote) equals the float64 model's, and the probabilities drift
+// by no more than single-precision tolerance (DESIGN.md §10).
+func TestF32VotesMatchF64AcrossModels(t *testing.T) {
+	const (
+		n, classes = 13, 3
+		h, w       = 8, 8
+	)
+	x := tensor.New(n, 1, h, w)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i%17)/17 - 0.5
+	}
+
+	for _, arch := range models.StudyModels() {
+		arch := arch
+		t.Run(arch, func(t *testing.T) {
+			net, err := models.Build(arch, models.BuildConfig{
+				InChannels: 1, Height: h, Width: w, NumClasses: classes,
+				WidthMult: 0.25, RNG: xrand.New(7).Split(arch),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := &builtModel{net: net, classes: classes}
+			f32, err := ToF32(m)
+			if err != nil {
+				t.Fatalf("ToF32(%s): %v", arch, err)
+			}
+
+			wantProbs := m.PredictProbs(x)
+			gotProbs := f32.PredictProbs(x)
+			for i := range wantProbs.Data() {
+				drift := math.Abs(gotProbs.Data()[i] - wantProbs.Data()[i])
+				if drift > 1e-4 {
+					t.Fatalf("%s: probability drift %v at %d exceeds 1e-4", arch, drift, i)
+				}
+			}
+			wantPred, gotPred := m.Predict(x), f32.Predict(x)
+			for row := range wantPred {
+				if gotPred[row] != wantPred[row] {
+					t.Fatalf("%s row %d: f32 vote %d, f64 vote %d", arch, row, gotPred[row], wantPred[row])
+				}
+			}
+		})
+	}
+}
+
+// TestToF32Ensemble checks that a voting ensemble converts member by
+// member and votes identically to the float64 ensemble.
+func TestToF32Ensemble(t *testing.T) {
+	const classes = 3
+	var members []Classifier
+	for _, arch := range []string{"convnet", "mobilenet"} {
+		net, err := models.Build(arch, models.BuildConfig{
+			InChannels: 1, Height: 8, Width: 8, NumClasses: classes,
+			WidthMult: 0.25, RNG: xrand.New(3).Split(arch),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, &builtModel{net: net, classes: classes})
+	}
+	v := &VotingClassifier{Members: members, Classes: classes}
+	f32, err := ToF32(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, ok := f32.(*VotingClassifier)
+	if !ok || len(fv.Members) != 2 {
+		t.Fatalf("ToF32(ensemble) = %T with %d members, want *VotingClassifier with 2", f32, len(fv.Members))
+	}
+
+	x := tensor.New(9, 1, 8, 8)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i%11)/11 - 0.5
+	}
+	want, got := v.Predict(x), f32.Predict(x)
+	for row := range want {
+		if got[row] != want[row] {
+			t.Fatalf("row %d: f32 ensemble vote %d, f64 vote %d", row, got[row], want[row])
+		}
+	}
+}
+
+// TestToF32RejectsUnknownClassifier pins the conversion error for
+// classifier types without a float32 form.
+func TestToF32RejectsUnknownClassifier(t *testing.T) {
+	if _, err := ToF32(fixedClassifier{}); err == nil {
+		t.Fatal("ToF32 accepted an unconvertible classifier")
+	}
+}
+
+// TestNewUntrainedBuildsClassifier checks the exported untrained-model
+// constructor used by serving tests and benchmarks.
+func TestNewUntrainedBuildsClassifier(t *testing.T) {
+	train, _ := tinySet(t)
+	c, err := NewUntrained(Config{Arch: "convnet", WidthMult: 0.5}, train, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := c.PredictProbs(train.X.SliceRows(0, 3))
+	if probs.Dim(0) != 3 || probs.Dim(1) != train.NumClasses {
+		t.Fatalf("probs shape %v, want [3,%d]", probs.Shape(), train.NumClasses)
+	}
+}

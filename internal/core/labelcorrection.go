@@ -133,7 +133,9 @@ func (l *LabelCorrection) Train(cfg Config, ts TrainSet, rng *xrand.RNG) (Classi
 	sec := newSecondary(ds.NumClasses, hidden, rng.Split("secondary-init"))
 
 	primaryOpt := opt.NewAdam(resolved.LR)
+	defer primaryOpt.Release()
 	secondaryOpt := opt.NewAdam(resolved.LR)
+	defer secondaryOpt.Release()
 	schedule := opt.CosineDecay{Total: resolved.Epochs}
 	shuffleRNG := rng.Split("shuffle")
 	flipRNG := rng.Split("synth-flip")
@@ -168,6 +170,11 @@ func (l *LabelCorrection) Train(cfg Config, ts TrainSet, rng *xrand.RNG) (Classi
 			sec.net.Backward(grad)
 			secondaryOpt.Step(sec.net.Params())
 			nn.ZeroGrads(sec.net)
+			// The primary ran inference-only this phase; its activations
+			// (already folded into feats) recycle per batch.
+			if a := primary.net.Arena(); a != nil {
+				a.Reset()
+			}
 		}
 
 		// Phase 2: train the primary on the full (noisy) data against a blend
@@ -189,6 +196,9 @@ func (l *LabelCorrection) Train(cfg Config, ts TrainSet, rng *xrand.RNG) (Classi
 			primary.net.Backward(grad)
 			primaryOpt.Step(primary.net.Params())
 			nn.ZeroGrads(primary.net)
+			if a := primary.net.Arena(); a != nil {
+				a.Reset()
+			}
 		}
 	}
 	return classifier, nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"tdfm/internal/chaos"
 	"tdfm/internal/data"
@@ -20,6 +21,11 @@ type builtModel struct {
 	net     *nn.Sequential
 	cfg     Config
 	classes int
+	// mu serializes inference: the network's arena recycles activations
+	// and is not safe for concurrent use, and the serving layer fans
+	// concurrent requests out to shared member models. Fan-out across
+	// ensemble members stays parallel — each member owns its own arena.
+	mu sync.Mutex
 }
 
 var _ Classifier = (*builtModel)(nil)
@@ -38,9 +44,16 @@ const predictBatch = 128
 // for any batch size, which is what lets the serving tier stack many
 // requests into one forward pass and demux the rows afterwards.
 func (m *builtModel) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := x.Dim(0)
+	arena := m.net.Arena()
 	if n <= predictBatch {
-		return loss.Softmax(m.net.Forward(x, false))
+		probs := loss.Softmax(m.net.Forward(x, false))
+		if arena != nil {
+			arena.Reset() // probs are fresh storage; activations recycle here
+		}
+		return probs
 	}
 	out := tensor.New(n, m.classes)
 	for start := 0; start < n; start += predictBatch {
@@ -50,6 +63,9 @@ func (m *builtModel) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
 		}
 		probs := loss.Softmax(m.net.Forward(x.SliceRows(start, end), false))
 		copy(out.Data()[start*m.classes:end*m.classes], probs.Data())
+		if arena != nil {
+			arena.Reset()
+		}
 	}
 	return out
 }
@@ -121,7 +137,13 @@ func trainLoop(
 		return err
 	}
 	if targets == nil {
+		// Default one-hot targets draw from the network's arena when one is
+		// installed: the target tensor is dead after the batch's loss
+		// gradient is computed, so it recycles with the activations.
 		targets = func(_ *tensor.Tensor, labels []int) *tensor.Tensor {
+			if a := net.Arena(); a != nil {
+				return data.FillOneHot(a.Tensor(len(labels), ds.NumClasses), labels)
+			}
 			return data.OneHot(labels, ds.NumClasses)
 		}
 	}
@@ -175,8 +197,10 @@ func runEpochs(
 	hook epochHook,
 ) (div, err error) {
 	optimizer := opt.NewAdam(lr)
+	defer optimizer.Release()
 	schedule := opt.CosineDecay{Total: cfg.Epochs}
 	params := net.Params()
+	arena := net.Arena()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		optimizer.SetLR(lr * schedule.Factor(epoch))
 		shuffled := ds.Shuffled(shuffleRNG)
@@ -187,7 +211,15 @@ func runEpochs(
 					return nil, fmt.Errorf("core: training interrupted at epoch %d: %w", epoch, cerr)
 				}
 			}
-			bx, by := shuffled.Batch(start, cfg.BatchSize)
+			end := start + cfg.BatchSize
+			if end > shuffled.Len() {
+				end = shuffled.Len()
+			}
+			// Zero-copy batch views: the shuffled dataset is already a fresh
+			// deep copy, so slicing it is as isolated as the old per-batch
+			// copy was, without the two allocations per step.
+			bx := shuffled.X.SliceRows(start, end)
+			by := shuffled.Labels[start:end]
 			logits := net.Forward(bx, true)
 			l, grad := lossFn.Forward(logits, targets(bx, by))
 			if act := chaos.Check("core.trainLoop.loss", cfg.Tag); act != nil {
@@ -208,11 +240,25 @@ func runEpochs(
 			// restart. Without clipping, a finite explosion past the
 			// threshold is caught before it degrades into NaN.
 			if math.IsInf(norm, 0) || (clip <= 0 && norm > explodeGradNorm) {
-				nn.ZeroGrads(net)
+				for _, p := range params {
+					p.ZeroGrad()
+				}
+				if arena != nil {
+					arena.Reset()
+				}
 				return fmt.Errorf("gradient norm %.3g exploded at epoch %d", norm, epoch), nil
 			}
 			optimizer.Step(params)
-			nn.ZeroGrads(net)
+			// Zero gradients over the hoisted slice: nn.ZeroGrads would
+			// rebuild the parameter list on every batch.
+			for _, p := range params {
+				p.ZeroGrad()
+			}
+			// All of this batch's activations and scratch are dead once the
+			// step is applied; recycle them for the next batch.
+			if arena != nil {
+				arena.Reset()
+			}
 			totalLoss += l
 			batches++
 		}

@@ -136,14 +136,33 @@ func (d *Dataset) Batch(start, size int) (*tensor.Tensor, []int) {
 	return x, labels
 }
 
-// OneHot encodes integer labels as one-hot rows of width numClasses.
-func OneHot(labels []int, numClasses int) *tensor.Tensor {
-	t := tensor.New(len(labels), numClasses)
+// FillOneHot one-hot encodes labels into the zero-filled [len(labels), K]
+// tensor dst and returns it. It lets training loops reuse arena storage
+// for the per-batch target tensor instead of allocating one per batch.
+func FillOneHot(dst *tensor.Tensor, labels []int) *tensor.Tensor {
+	if dst.Dims() != 2 || dst.Dim(0) != len(labels) {
+		panic(fmt.Sprintf("data: FillOneHot dst %v does not match %d labels", dst.Shape(), len(labels)))
+	}
+	numClasses := dst.Dim(1)
+	d := dst.Data()
 	for i, y := range labels {
 		if y < 0 || y >= numClasses {
 			panic(fmt.Sprintf("data: OneHot label %d out of [0,%d)", y, numClasses))
 		}
-		t.Set(1, i, y)
+		d[i*numClasses+y] = 1
+	}
+	return dst
+}
+
+// OneHot encodes integer labels as one-hot rows of width numClasses.
+func OneHot(labels []int, numClasses int) *tensor.Tensor {
+	t := tensor.New(len(labels), numClasses)
+	d := t.Data()
+	for i, y := range labels {
+		if y < 0 || y >= numClasses {
+			panic(fmt.Sprintf("data: OneHot label %d out of [0,%d)", y, numClasses))
+		}
+		d[i*numClasses+y] = 1
 	}
 	return t
 }

@@ -9,7 +9,11 @@ import (
 
 // ReLU is the rectified-linear activation, applied elementwise.
 type ReLU struct {
-	mask []bool
+	arenaHolder
+	// out caches the training-mode output: out[i] > 0 exactly where the
+	// input was positive, so it doubles as the backward mask without a
+	// separate allocation.
+	out *tensor.Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -19,35 +23,30 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative elements.
 func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
-	out := x.Clone()
+	out := r.allocLike(x)
 	od := out.Data()
-	var mask []bool
-	if training {
-		mask = make([]bool, len(od))
-	}
+	copy(od, x.Data())
 	for i, v := range od {
 		if v <= 0 {
 			od[i] = 0
-		} else if training {
-			mask[i] = true
 		}
 	}
 	if training {
-		r.mask = mask
+		r.out = out
 	}
 	return out
 }
 
 // Backward zeroes gradients where the forward input was non-positive.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	if r.mask == nil {
+	if r.out == nil {
 		panic("nn: ReLU Backward before training Forward")
 	}
-	dx := dout.Clone()
-	dxd := dx.Data()
+	dx := r.allocLike(dout)
+	dxd, dod, od := dx.Data(), dout.Data(), r.out.Data()
 	for i := range dxd {
-		if !r.mask[i] {
-			dxd[i] = 0
+		if od[i] > 0 {
+			dxd[i] = dod[i]
 		}
 	}
 	return dx
@@ -60,6 +59,7 @@ func (r *ReLU) Params() []*Param { return nil }
 // and rescales survivors by 1/(1-Rate) ("inverted dropout"), so inference
 // needs no adjustment.
 type Dropout struct {
+	arenaHolder
 	rate float64
 	rng  *xrand.RNG
 	mask []float64
@@ -82,9 +82,10 @@ func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 		d.mask = nil
 		return x
 	}
-	out := x.Clone()
+	out := d.allocLike(x)
 	od := out.Data()
-	mask := make([]float64, len(od))
+	copy(od, x.Data())
+	mask := d.allocBuf(len(od))
 	keep := 1 - d.rate
 	scale := 1 / keep
 	for i := range od {
@@ -105,10 +106,10 @@ func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		// Dropout was an identity in Forward (rate 0); pass through.
 		return dout
 	}
-	dx := dout.Clone()
-	dxd := dx.Data()
+	dx := d.allocLike(dout)
+	dxd, dod := dx.Data(), dout.Data()
 	for i := range dxd {
-		dxd[i] *= d.mask[i]
+		dxd[i] = dod[i] * d.mask[i]
 	}
 	return dx
 }

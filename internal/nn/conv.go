@@ -12,6 +12,7 @@ import (
 // as im2col followed by a matrix product. Weights have shape
 // [C*KH*KW, OutC]; bias has shape [OutC].
 type Conv2D struct {
+	arenaHolder
 	w, b *Param
 
 	inC, outC int
@@ -54,13 +55,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.geom.OutSize(h, w)
-	cols := tensor.Im2Col(x, c.geom)
-	rows := cols.MatMul(c.w.W)
+	cols := tensor.Im2ColInto(c.alloc(n*oh*ow, c.inC*c.geom.KH*c.geom.KW), x, c.geom)
+	rows := cols.MatMulInto(c.alloc(n*oh*ow, c.outC), c.w.W)
 	rows.AddRowVectorIn(c.b.W)
 	if training {
 		c.cols, c.n, c.h, c.wIn, c.oh, c.ow = cols, n, h, w, oh, ow
 	}
-	return tensor.RowsToNCHW(rows, n, c.outC, oh, ow)
+	return tensor.RowsToNCHWInto(c.alloc(n, c.outC, oh, ow), rows)
 }
 
 // Backward accumulates weight/bias gradients and returns the input gradient.
@@ -68,11 +69,11 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if c.cols == nil {
 		panic("nn: Conv2D Backward before training Forward")
 	}
-	doutRows := tensor.NCHWToRows(dout) // [N*OH*OW, outC]
-	c.w.Grad.AddIn(c.cols.MatMulTransA(doutRows))
-	c.b.Grad.AddIn(doutRows.SumRows())
-	dcols := doutRows.MatMulTransB(c.w.W)
-	return tensor.Col2Im(dcols, c.n, c.inC, c.h, c.wIn, c.geom)
+	doutRows := tensor.NCHWToRowsInto(c.alloc(c.n*c.oh*c.ow, c.outC), dout) // [N*OH*OW, outC]
+	c.w.Grad.AddIn(c.cols.MatMulTransAInto(c.alloc(c.inC*c.geom.KH*c.geom.KW, c.outC), doutRows))
+	c.b.Grad.AddIn(doutRows.SumRowsInto(c.alloc(c.outC)))
+	dcols := doutRows.MatMulTransBInto(c.alloc(c.n*c.oh*c.ow, c.inC*c.geom.KH*c.geom.KW), c.w.W)
+	return tensor.Col2ImInto(c.alloc(c.n, c.inC, c.h, c.wIn), dcols, c.geom)
 }
 
 // Params returns the kernel and bias parameters.
@@ -82,6 +83,7 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
 // multiplier 1), the spatial half of a depthwise-separable convolution as
 // used by MobileNet. Weights have shape [C, KH, KW]; bias has shape [C].
 type DepthwiseConv2D struct {
+	arenaHolder
 	w, b *Param
 
 	ch   int
@@ -120,7 +122,7 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, training bool) *tensor.Tenso
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := d.geom.OutSize(h, w)
-	out := tensor.New(n, d.ch, oh, ow)
+	out := d.alloc(n, d.ch, oh, ow)
 	xd, od, wd, bd := x.Data(), out.Data(), d.w.W.Data(), d.b.W.Data()
 	k := d.geom.KH
 	tensor.Shard(n, n*d.ch*oh*ow*k*k, func(imgLo, imgHi int) {
@@ -172,7 +174,7 @@ func (d *DepthwiseConv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 	n, h, w := d.x.Dim(0), d.x.Dim(2), d.x.Dim(3)
 	oh, ow := d.oh, d.ow
-	dx := tensor.New(n, d.ch, h, w)
+	dx := d.alloc(n, d.ch, h, w)
 	xd, dxd := d.x.Data(), dx.Data()
 	dod, wd := dout.Data(), d.w.W.Data()
 	gw, gb := d.w.Grad.Data(), d.b.Grad.Data()

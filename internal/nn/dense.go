@@ -11,6 +11,7 @@ import (
 // Dense is a fully connected layer computing y = xW + b for inputs of shape
 // [N, in] and outputs of shape [N, out].
 type Dense struct {
+	arenaHolder
 	w, b *Param
 
 	in, out int
@@ -50,7 +51,7 @@ func (d *Dense) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if training {
 		d.x = x
 	}
-	y := x.MatMul(d.w.W)
+	y := x.MatMulInto(d.alloc(x.Dim(0), d.out), d.w.W)
 	y.AddRowVectorIn(d.b.W)
 	return y
 }
@@ -61,9 +62,9 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if d.x == nil {
 		panic("nn: Dense Backward before training Forward")
 	}
-	d.w.Grad.AddIn(d.x.MatMulTransA(dout))
-	d.b.Grad.AddIn(dout.SumRows())
-	return dout.MatMulTransB(d.w.W)
+	d.w.Grad.AddIn(d.x.MatMulTransAInto(d.alloc(d.in, d.out), dout))
+	d.b.Grad.AddIn(dout.SumRowsInto(d.alloc(d.out)))
+	return dout.MatMulTransBInto(d.alloc(dout.Dim(0), d.in), d.w.W)
 }
 
 // Params returns the weight and bias parameters.

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// buildMixedNet exercises every layer type that has a float32 twin:
+// standard and depthwise convolution, batch norm, ReLU, dropout, max and
+// global average pooling, a residual block with projection shortcut, and a
+// dense head.
+func buildMixedNet(rng *xrand.RNG) *Sequential {
+	main := NewSequential(
+		NewConv2D("res.c1", 8, 8, 3, 1, tensor.SamePad(3), rng),
+		NewBatchNorm2D("res.bn1", 8),
+	)
+	shortcut := NewConv2D("res.sc", 8, 8, 1, 1, 0, rng)
+	return NewSequential(
+		NewConv2D("c1", 3, 8, 3, 1, tensor.SamePad(3), rng),
+		NewBatchNorm2D("bn1", 8),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewDepthwiseConv2D("dw1", 8, 3, 1, tensor.SamePad(3), rng),
+		NewResidual(main, shortcut),
+		NewDropout(0.25, rng.Split("dropout")),
+		NewGlobalAvgPool2D(),
+		NewFlatten(),
+		NewDense("fc", 8, 5, rng),
+	)
+}
+
+// TestF32NetMatchesF64 checks the float32 twin of a mixed-layer network
+// against the float64 original: logits agree within single-precision
+// tolerance and every row's argmax matches (the vote-invariance property
+// serving relies on).
+func TestF32NetMatchesF64(t *testing.T) {
+	rng := xrand.New(7).Split("f32net")
+	net := buildMixedNet(rng)
+
+	// A couple of training steps give batch norm non-trivial running
+	// statistics, so the twin's folded scale/shift path is exercised.
+	xTrain := tensor.New(4, 3, 8, 8)
+	for i := range xTrain.Data() {
+		xTrain.Data()[i] = rng.NormFloat64()
+	}
+	for step := 0; step < 2; step++ {
+		net.Forward(xTrain, true)
+	}
+
+	f32net, err := NewF32Net(net)
+	if err != nil {
+		t.Fatalf("NewF32Net: %v", err)
+	}
+
+	x := tensor.New(6, 3, 8, 8)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	want := net.Forward(x, false)
+	got := f32net.Forward(x)
+
+	if !got.SameShape(want) {
+		t.Fatalf("f32 logits shape %v, want %v", got.Shape(), want.Shape())
+	}
+	for i := range want.Data() {
+		w, g := want.Data()[i], got.Data()[i]
+		if math.Abs(g-w) > 1e-4*(1+math.Abs(w)) {
+			t.Fatalf("f32 logit drift at %d: %v vs %v", i, g, w)
+		}
+	}
+	wantArg, gotArg := want.ArgMaxRows(), got.ArgMaxRows()
+	for row := range wantArg {
+		if gotArg[row] != wantArg[row] {
+			t.Fatalf("row %d: f32 argmax %d, f64 argmax %d", row, gotArg[row], wantArg[row])
+		}
+	}
+
+	// A second forward through the same twin (arena now recycling) must
+	// reproduce the first bit for bit.
+	again := f32net.Forward(x)
+	for i := range got.Data() {
+		if again.Data()[i] != got.Data()[i] {
+			t.Fatalf("second f32 forward differs at %d", i)
+		}
+	}
+}
+
+// TestNewF32NetRejectsUnknownLayer pins the conversion error for layer
+// types without a float32 twin.
+func TestNewF32NetRejectsUnknownLayer(t *testing.T) {
+	if _, err := NewF32Net(NewSequential(unknownLayer{})); err == nil {
+		t.Fatal("NewF32Net accepted a layer type with no float32 twin")
+	}
+}
+
+type unknownLayer struct{}
+
+func (unknownLayer) Forward(x *tensor.Tensor, training bool) *tensor.Tensor { return x }
+func (unknownLayer) Backward(dout *tensor.Tensor) *tensor.Tensor            { return dout }
+func (unknownLayer) Params() []*Param                                       { return nil }

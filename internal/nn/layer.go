@@ -37,6 +37,68 @@ func newParam(name string, shape ...int) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// arenaHolder embeds an optional tensor.Arena into a layer. When an arena
+// is installed (see InstallArena), every activation and scratch tensor the
+// layer allocates comes from the arena and is recycled wholesale by the
+// owner's Arena.Reset at batch/chunk boundaries; without one, alloc is
+// plain tensor.New and behaviour is exactly the historical
+// allocate-per-call path. Buffers are zero-filled either way, so the two
+// modes are byte-identical.
+type arenaHolder struct {
+	arena *tensor.Arena
+}
+
+// setArena installs (or clears, with nil) the layer's arena.
+func (h *arenaHolder) setArena(a *tensor.Arena) { h.arena = a }
+
+// alloc returns a zero-filled tensor from the arena when one is installed,
+// else a fresh tensor.
+func (h *arenaHolder) alloc(shape ...int) *tensor.Tensor {
+	if h.arena != nil {
+		return h.arena.Tensor(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// allocLike is alloc with x's shape, avoiding the shape copy that an
+// x.Shape() spread would allocate on every call.
+func (h *arenaHolder) allocLike(x *tensor.Tensor) *tensor.Tensor {
+	if h.arena != nil {
+		return h.arena.TensorLike(x)
+	}
+	return tensor.NewLike(x)
+}
+
+// allocBuf returns a zero-filled []float64 from the arena when one is
+// installed, else a fresh slice.
+func (h *arenaHolder) allocBuf(n int) []float64 {
+	if h.arena != nil {
+		return h.arena.Buf(n)
+	}
+	return make([]float64, n)
+}
+
+// arenaUser is implemented (via arenaHolder embedding) by every layer that
+// allocates activations or scratch.
+type arenaUser interface {
+	setArena(*tensor.Arena)
+}
+
+// InstallArena walks the network and installs a on every layer that
+// allocates, so all activations and scratch of one model share one
+// allocation scope. Callers own the reset cadence: the training loop
+// resets after each optimizer step, the inference path after each
+// predicted chunk (DESIGN.md §10). Pass nil to detach the network from its
+// arena. Installing an arena does not change any numeric result — arena
+// buffers are zero-filled exactly like fresh ones.
+func InstallArena(l Layer, a *tensor.Arena) {
+	Walk(l, func(layer Layer) {
+		if u, ok := layer.(arenaUser); ok {
+			u.setArena(a)
+		}
+	})
+}
+
 // Layer is a differentiable network stage.
 //
 // Forward consumes a batch and returns the layer output; when training is
@@ -53,6 +115,7 @@ type Layer interface {
 
 // Sequential chains layers in order. The zero value is an empty network.
 type Sequential struct {
+	arenaHolder
 	layers []Layer
 }
 
@@ -71,6 +134,11 @@ func (s *Sequential) Len() int { return len(s.layers) }
 
 // Layers returns the underlying layer slice (not a copy; treat as read-only).
 func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Arena returns the allocation arena installed on this network by
+// InstallArena, or nil when the network allocates per call. The training
+// loop and chunked inference use it to recycle activations at safe points.
+func (s *Sequential) Arena() *tensor.Arena { return s.arena }
 
 // Forward runs the layers in order.
 func (s *Sequential) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {

@@ -9,6 +9,7 @@ import (
 
 // MaxPool2D is a max-pooling layer over [N, C, H, W] inputs.
 type MaxPool2D struct {
+	arenaHolder
 	geom tensor.ConvGeom
 
 	argmax             []int // flat input index of each output element
@@ -35,10 +36,16 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D window %dx%d too large for %dx%d input", m.geom.KH, m.geom.KW, h, w))
 	}
-	out := tensor.New(n, c, oh, ow)
+	out := m.alloc(n, c, oh, ow)
 	var arg []int
 	if training {
-		arg = make([]int, out.Size())
+		// Reuse the previous batch's argmax storage when it fits: every
+		// element is overwritten below, so stale contents cannot leak.
+		if cap(m.argmax) >= out.Size() {
+			arg = m.argmax[:out.Size()]
+		} else {
+			arg = make([]int, out.Size())
+		}
 	}
 	xd, od := x.Data(), out.Data()
 	// Batch-first sharding: each image's output (and argmax) block is
@@ -95,7 +102,7 @@ func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if m.argmax == nil {
 		panic("nn: MaxPool2D Backward before training Forward")
 	}
-	dx := tensor.New(m.inN, m.inC, m.inH, m.inW)
+	dx := m.alloc(m.inN, m.inC, m.inH, m.inW)
 	dxd, dod := dx.Data(), dout.Data()
 	for o, idx := range m.argmax {
 		dxd[idx] += dod[o]
@@ -109,6 +116,7 @@ func (m *MaxPool2D) Params() []*Param { return nil }
 // GlobalAvgPool2D averages each channel's spatial plane, mapping
 // [N, C, H, W] to [N, C]. Used by the ResNet and MobileNet heads.
 type GlobalAvgPool2D struct {
+	arenaHolder
 	inN, inC, inH, inW int
 }
 
@@ -123,7 +131,7 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tenso
 		panic(fmt.Sprintf("nn: GlobalAvgPool2D expects [N,C,H,W], got %v", x.Shape()))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(n, c)
+	out := g.alloc(n, c)
 	xd, od := x.Data(), out.Data()
 	area := float64(h * w)
 	// Batch-first sharding with per-image output rows; bit-identical at
@@ -151,7 +159,7 @@ func (g *GlobalAvgPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if g.inH == 0 {
 		panic("nn: GlobalAvgPool2D Backward before training Forward")
 	}
-	dx := tensor.New(g.inN, g.inC, g.inH, g.inW)
+	dx := g.alloc(g.inN, g.inC, g.inH, g.inW)
 	dxd, dod := dx.Data(), dout.Data()
 	area := float64(g.inH * g.inW)
 	for img := 0; img < g.inN; img++ {

@@ -13,6 +13,7 @@ import (
 // changes channel count or spatial size. The trailing ReLU follows the
 // original ResNet formulation.
 type Residual struct {
+	arenaHolder
 	main     Layer
 	shortcut Layer // nil means identity
 
@@ -27,6 +28,13 @@ func NewResidual(main Layer, shortcut Layer) *Residual {
 	return &Residual{main: main, shortcut: shortcut, relu: NewReLU()}
 }
 
+// setArena installs the arena on the block itself and on its trailing ReLU,
+// which Walk does not reach (it only recurses into main and shortcut).
+func (r *Residual) setArena(a *tensor.Arena) {
+	r.arenaHolder.setArena(a)
+	r.relu.setArena(a)
+}
+
 // Forward computes ReLU(main(x) + shortcut(x)).
 func (r *Residual) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	m := r.main.Forward(x, training)
@@ -34,7 +42,10 @@ func (r *Residual) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
 	if r.shortcut != nil {
 		s = r.shortcut.Forward(x, training)
 	}
-	return r.relu.Forward(m.Add(s), training)
+	sum := r.allocLike(m)
+	copy(sum.Data(), m.Data())
+	sum.AddIn(s)
+	return r.relu.Forward(sum, training)
 }
 
 // Backward propagates through the ReLU, then through both branches, summing
@@ -43,9 +54,9 @@ func (r *Residual) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	d := r.relu.Backward(dout)
 	dx := r.main.Backward(d)
 	if r.shortcut != nil {
-		dx = dx.Add(r.shortcut.Backward(d))
+		dx.AddIn(r.shortcut.Backward(d))
 	} else {
-		dx = dx.Add(d)
+		dx.AddIn(d)
 	}
 	return dx
 }

@@ -94,6 +94,11 @@ const (
 	// the batch ID, Event.N the request count, and Event.Detail the flush
 	// reason plus row total ("window rows=12", "cap rows=32", …).
 	KindBatchFlush
+	// KindPoolStats reports a snapshot of the tensor buffer-pool reuse
+	// counters in Event.Detail ("pool-hit=… pool-miss=… pool-bytes=…"),
+	// emitted once by the serving layer's Drain so operators can confirm
+	// pooling effectiveness at shutdown.
+	KindPoolStats
 )
 
 // String returns a stable lower-case name for the kind.
@@ -137,6 +142,8 @@ func (k Kind) String() string {
 		return "breaker-change"
 	case KindBatchFlush:
 		return "batch-flush"
+	case KindPoolStats:
+		return "pool-stats"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

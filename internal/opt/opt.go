@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"tdfm/internal/nn"
+	"tdfm/internal/tensor"
 )
 
 // Optimizer applies one update step to a set of parameters using their
@@ -17,6 +18,12 @@ type Optimizer interface {
 	SetLR(lr float64)
 	// LR returns the current learning rate.
 	LR() float64
+	// Release returns the optimizer's per-parameter state buffers to the
+	// global buffer pool and resets the state. Call it when the training
+	// run that owns the optimizer finishes; the optimizer remains usable
+	// (its next Step starts from fresh zero state, exactly like a new
+	// optimizer).
+	Release()
 	Name() string
 }
 
@@ -56,7 +63,7 @@ func (s *SGD) Step(params []*nn.Param) {
 		w, g := p.W.Data(), p.Grad.Data()
 		v, ok := s.velocity[p]
 		if !ok {
-			v = make([]float64, len(w))
+			v = tensor.GetBuf(len(w))
 			s.velocity[p] = v
 		}
 		for i := range w {
@@ -64,6 +71,14 @@ func (s *SGD) Step(params []*nn.Param) {
 			v[i] = s.Momentum*v[i] - s.lr*grad
 			w[i] += v[i]
 		}
+	}
+}
+
+// Release implements Optimizer: velocity buffers return to the pool.
+func (s *SGD) Release() {
+	for p, v := range s.velocity {
+		delete(s.velocity, p)
+		tensor.PutBuf(v)
 	}
 }
 
@@ -112,12 +127,12 @@ func (a *Adam) Step(params []*nn.Param) {
 		w, g := p.W.Data(), p.Grad.Data()
 		m, ok := a.m[p]
 		if !ok {
-			m = make([]float64, len(w))
+			m = tensor.GetBuf(len(w))
 			a.m[p] = m
 		}
 		v, ok := a.v[p]
 		if !ok {
-			v = make([]float64, len(w))
+			v = tensor.GetBuf(len(w))
 			a.v[p] = v
 		}
 		for i := range w {
@@ -129,6 +144,20 @@ func (a *Adam) Step(params []*nn.Param) {
 			w[i] -= a.lr * mhat / (math.Sqrt(vhat) + a.Eps)
 		}
 	}
+}
+
+// Release implements Optimizer: moment buffers return to the pool and the
+// bias-correction step counter resets.
+func (a *Adam) Release() {
+	for p, m := range a.m {
+		delete(a.m, p)
+		tensor.PutBuf(m)
+	}
+	for p, v := range a.v {
+		delete(a.v, p)
+		tensor.PutBuf(v)
+	}
+	a.t = 0
 }
 
 // GradNorm returns the global L2 norm of the accumulated gradients across

@@ -157,12 +157,16 @@ func (b *batcher) flush(buf []*batchRequest, rows int, reason string) {
 			Detail: fmt.Sprintf("%s rows=%d", reason, rows)})
 	}
 	x := buf[0].x
+	var stacked *tensor.Tensor
 	if len(buf) > 1 {
 		parts := make([]*tensor.Tensor, len(buf))
 		for i, r := range buf {
 			parts[i] = r.x
 		}
-		x = tensor.ConcatRows(parts...)
+		// The stacking buffer lives only for this flush; pool-backed
+		// storage lets consecutive flushes of similar size reuse it.
+		stacked = tensor.ConcatRowsPooled(parts...)
+		x = stacked
 	}
 	probs, reports := b.s.fanout(batchID, x)
 	off := 0
@@ -173,6 +177,17 @@ func (b *batcher) flush(buf []*batchRequest, rows int, reason string) {
 		}
 		off += r.rows
 		r.done <- batchReply{res: res, err: err}
+	}
+	if stacked != nil {
+		// A timed-out member's goroutine may still be reading the stacked
+		// tensor past the deadline; only a flush whose members all
+		// finished may recycle it (the GC reclaims it otherwise).
+		for _, rep := range reports {
+			if rep.Status == StatusTimeout {
+				return
+			}
+		}
+		stacked.Release()
 	}
 }
 

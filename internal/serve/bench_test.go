@@ -30,6 +30,8 @@ import (
 	"testing"
 	"time"
 
+	"tdfm/internal/core"
+	"tdfm/internal/data"
 	"tdfm/internal/loss"
 	"tdfm/internal/models"
 	"tdfm/internal/nn"
@@ -47,13 +49,22 @@ var benchSizes = []int{1, 8, 32, 128}
 
 // netClf wraps a raw network as a serving member. Benchmarks use it to
 // measure dispatch over real layer stacks without paying for training —
-// untrained weights run the same arithmetic as trained ones.
+// untrained weights run the same arithmetic as trained ones. Like the
+// real model wrappers in internal/core, it serializes inference with a
+// mutex because the network's arena is not safe for concurrent use.
 type netClf struct {
+	mu  sync.Mutex
 	net *nn.Sequential
 }
 
 func (c *netClf) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
-	return loss.Softmax(c.net.Forward(x, false))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := loss.Softmax(c.net.Forward(x, false))
+	if a := c.net.Arena(); a != nil {
+		a.Reset() // softmax output is fresh storage; activations recycle
+	}
+	return out
 }
 
 func (c *netClf) Predict(x *tensor.Tensor) []int {
@@ -61,8 +72,12 @@ func (c *netClf) Predict(x *tensor.Tensor) []int {
 }
 
 // benchMembers builds a three-member ensemble of the given flavour (see
-// the package comment above for what each flavour isolates).
-func benchMembers(tb testing.TB, flavour string) []Member {
+// the package comment above for what each flavour isolates). withArena
+// installs a per-member arena so activations recycle between requests —
+// the alloc benchmarks measure that path; the throughput rows keep the
+// plain allocate-per-call members so the committed trajectory stays
+// like-for-like with its historical baseline.
+func benchMembers(tb testing.TB, flavour string, withArena bool) []Member {
 	tb.Helper()
 	ms := make([]Member, 3)
 	for i := range ms {
@@ -90,7 +105,35 @@ func benchMembers(tb testing.TB, flavour string) []Member {
 		default:
 			tb.Fatalf("unknown bench member flavour %q", flavour)
 		}
+		if withArena {
+			nn.InstallArena(net, tensor.NewArena())
+		}
 		ms[i] = Member{Name: name, Clf: &netClf{net: net}}
+	}
+	return ms
+}
+
+// benchCoreMembers builds a three-member convnet ensemble through the
+// real core constructors, so the members support the server's float32
+// precision conversion (core.ToF32 requires core's own model types).
+func benchCoreMembers(tb testing.TB) []Member {
+	tb.Helper()
+	ds := &data.Dataset{
+		X:          tensor.New(1, benchC, benchHW, benchHW),
+		Labels:     []int{0},
+		NumClasses: benchClasses,
+		Name:       "bench-serve",
+	}
+	ms := make([]Member, 3)
+	for i := range ms {
+		name := fmt.Sprintf("convnet-core-%d", i)
+		clf, err := core.NewUntrained(
+			core.Config{Arch: "convnet", WidthMult: 0.25},
+			ds, xrand.New(uint64(21+i)).Split(name))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ms[i] = Member{Name: name, Clf: clf}
 	}
 	return ms
 }
@@ -109,7 +152,7 @@ func benchInput(n int) *tensor.Tensor {
 // rows versus rows single-example fan-outs, on the calling goroutine
 // (the batcher's collect loop is exactly such a caller).
 func benchFanout(b *testing.B, flavour string, rows int, batched bool) {
-	s, err := New(benchMembers(b, flavour), benchClasses, Options{QueueCapacity: rows + 1})
+	s, err := New(benchMembers(b, flavour, false), benchClasses, Options{QueueCapacity: rows + 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -139,9 +182,9 @@ func benchFanout(b *testing.B, flavour string, rows int, batched bool) {
 // benchPredict measures end to end: reqs concurrent one-row requests per
 // iteration. batchCap 0 is the per-request path; batchCap reqs makes
 // every iteration's requests flush as one batch (the window is only a
-// backstop).
-func benchPredict(b *testing.B, flavour string, reqs, batchCap int) {
-	s, err := New(benchMembers(b, flavour), benchClasses, Options{
+// backstop). arena selects arena-backed members (the alloc benchmarks).
+func benchPredict(b *testing.B, flavour string, reqs, batchCap int, arena bool) {
+	s, err := New(benchMembers(b, flavour, arena), benchClasses, Options{
 		QueueCapacity: reqs + 1,
 		BatchCap:      batchCap,
 		BatchWindow:   250 * time.Microsecond,
@@ -173,6 +216,53 @@ func benchPredict(b *testing.B, flavour string, reqs, batchCap int) {
 	s.Drain()
 }
 
+// benchPredictPrecision measures the batched predict path through
+// real core members at the given serving precision. The f32-versus-f64
+// comparison is run with pooling disabled so the B/op column reflects
+// storage width alone, not how much of it the arena recycled.
+func benchPredictPrecision(b *testing.B, reqs int, p Precision) {
+	s, err := New(benchCoreMembers(b), benchClasses, Options{
+		QueueCapacity: reqs + 1,
+		BatchCap:      reqs,
+		BatchWindow:   250 * time.Microsecond,
+		Precision:     p,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]*tensor.Tensor, reqs)
+	full := benchInput(reqs)
+	for i := range xs {
+		xs[i] = full.SliceRows(i, i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < reqs; j++ {
+			wg.Add(1)
+			go func(x *tensor.Tensor) {
+				defer wg.Done()
+				if _, err := s.Predict(x); err != nil {
+					b.Error(err)
+				}
+			}(xs[j])
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*reqs)/b.Elapsed().Seconds(), "req/s")
+	s.Drain()
+}
+
+// withPooling runs fn with the tensor buffer pool forced on or off,
+// restoring the previous mode afterwards.
+func withPooling(on bool, fn func()) {
+	old := tensor.PoolingEnabled()
+	tensor.SetPooling(on)
+	defer tensor.SetPooling(old)
+	fn()
+}
+
 func BenchmarkFanout(b *testing.B) {
 	for _, flavour := range []string{"stub", "linear", "convnet"} {
 		for _, rows := range benchSizes {
@@ -189,23 +279,56 @@ func BenchmarkPredict(b *testing.B) {
 	for _, reqs := range benchSizes {
 		reqs := reqs
 		b.Run(fmt.Sprintf("convnet/single/b=%d", reqs),
-			func(b *testing.B) { benchPredict(b, "convnet", reqs, 0) })
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, 0, false) })
 		cap := reqs
 		if cap < 2 {
 			cap = 2 // a cap of 1 disables batching; lone requests flush on the window
 		}
 		b.Run(fmt.Sprintf("convnet/batched/b=%d", reqs),
-			func(b *testing.B) { benchPredict(b, "convnet", reqs, cap) })
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, cap, false) })
+	}
+}
+
+// BenchmarkAllocPredict tracks the batched predict path's allocation
+// rate with the buffer pool on versus off (run with -benchmem; the
+// allocs/op and B/op columns are the point of this benchmark).
+func BenchmarkAllocPredict(b *testing.B) {
+	const reqs = 32
+	b.Run("pooled/b=32", func(b *testing.B) {
+		b.ReportAllocs()
+		withPooling(true, func() { benchPredict(b, "convnet", reqs, reqs, true) })
+	})
+	b.Run("unpooled/b=32", func(b *testing.B) {
+		b.ReportAllocs()
+		withPooling(false, func() { benchPredict(b, "convnet", reqs, reqs, true) })
+	})
+}
+
+// BenchmarkPredictPrecision compares f64 and f32 member storage on the
+// batched predict path, pooling disabled for both sides (see
+// benchPredictPrecision).
+func BenchmarkPredictPrecision(b *testing.B) {
+	const reqs = 32
+	for _, p := range []Precision{PrecisionF64, PrecisionF32} {
+		p := p
+		b.Run(fmt.Sprintf("%s/b=%d", p, reqs), func(b *testing.B) {
+			b.ReportAllocs()
+			withPooling(false, func() { benchPredictPrecision(b, reqs, p) })
+		})
 	}
 }
 
 // benchRecord and benchFile mirror the committed BENCH_*.json layout
-// (also emitted by internal/tensor's benchmark suite).
+// (also emitted by internal/tensor's benchmark suite). The allocation
+// columns are populated for the memory rows (alloc/* and precision
+// comparisons) and omitted elsewhere.
 type benchRecord struct {
-	Name       string  `json:"name"`
-	Rows       int     `json:"rows"`
-	NsPerRow   float64 `json:"ns_per_row"`
-	RowsPerSec float64 `json:"rows_per_sec"`
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	NsPerRow    float64 `json:"ns_per_row"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 }
 
 type benchFile struct {
@@ -216,16 +339,51 @@ type benchFile struct {
 	Speedups   map[string]float64 `json:"speedups"`
 }
 
-// measure runs fn through testing.Benchmark, where each fn iteration
-// processes rows rows.
+// benchReps is how many times each record reruns testing.Benchmark; the
+// fastest repetition is kept. On a shared single-core host the slower
+// repetitions measure scheduler interference, not the code, and the
+// committed baseline should measure the code.
+const benchReps = 3
+
+// bestOf returns the fastest of benchReps testing.Benchmark runs of fn.
+func bestOf(fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < benchReps; i++ {
+		if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// measure runs fn through bestOf, where each fn iteration processes
+// rows rows.
 func measure(name string, rows int, fn func(b *testing.B)) benchRecord {
-	r := testing.Benchmark(fn)
+	r := bestOf(fn)
 	perRow := float64(r.T.Nanoseconds()) / float64(r.N*rows)
 	return benchRecord{
 		Name:       name,
 		Rows:       rows,
 		NsPerRow:   perRow,
 		RowsPerSec: 1e9 / perRow,
+	}
+}
+
+// measureAlloc is measure plus the allocation columns; fn runs with
+// b.ReportAllocs so testing.Benchmark records them.
+func measureAlloc(name string, rows int, fn func(b *testing.B)) benchRecord {
+	r := bestOf(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	perRow := float64(r.T.Nanoseconds()) / float64(r.N*rows)
+	return benchRecord{
+		Name:        name,
+		Rows:        rows,
+		NsPerRow:    perRow,
+		RowsPerSec:  1e9 / perRow,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
 }
 
@@ -271,16 +429,44 @@ func TestEmitServeBenchJSON(t *testing.T) {
 			cap = 2
 		}
 		single := measure(fmt.Sprintf("predict/convnet/single/b=%d", reqs), reqs,
-			func(b *testing.B) { benchPredict(b, "convnet", reqs, 0) })
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, 0, false) })
 		batched := measure(fmt.Sprintf("predict/convnet/batched/b=%d", reqs), reqs,
-			func(b *testing.B) { benchPredict(b, "convnet", reqs, cap) })
+			func(b *testing.B) { benchPredict(b, "convnet", reqs, cap, false) })
 		add("predict_convnet", single, batched, reqs)
 	}
-	data, err := json.MarshalIndent(f, "", "  ")
+
+	// Memory rows. The pooled/unpooled pair tracks what buffer pooling
+	// saves on the batched predict path (allocs/op, B/op); the f64/f32
+	// pair tracks what float32 member storage saves on top, with pooling
+	// disabled for both sides so storage width is isolated.
+	const allocReqs = 32
+	pooled := measureAlloc(fmt.Sprintf("alloc/predict/pooled/b=%d", allocReqs), allocReqs,
+		func(b *testing.B) {
+			withPooling(true, func() { benchPredict(b, "convnet", allocReqs, allocReqs, true) })
+		})
+	unpooled := measureAlloc(fmt.Sprintf("alloc/predict/unpooled/b=%d", allocReqs), allocReqs,
+		func(b *testing.B) {
+			withPooling(false, func() { benchPredict(b, "convnet", allocReqs, allocReqs, true) })
+		})
+	f.Benchmarks = append(f.Benchmarks, pooled, unpooled)
+	f.Speedups[fmt.Sprintf("predict_allocs_unpooled_vs_pooled_b%d", allocReqs)] =
+		float64(unpooled.AllocsPerOp) / float64(pooled.AllocsPerOp)
+	f.Speedups[fmt.Sprintf("predict_bytes_unpooled_vs_pooled_b%d", allocReqs)] =
+		float64(unpooled.BytesPerOp) / float64(pooled.BytesPerOp)
+
+	f64row := measureAlloc(fmt.Sprintf("predict/convnet-core/f64/b=%d", allocReqs), allocReqs,
+		func(b *testing.B) { withPooling(false, func() { benchPredictPrecision(b, allocReqs, PrecisionF64) }) })
+	f32row := measureAlloc(fmt.Sprintf("predict/convnet-core/f32/b=%d", allocReqs), allocReqs,
+		func(b *testing.B) { withPooling(false, func() { benchPredictPrecision(b, allocReqs, PrecisionF32) }) })
+	f.Benchmarks = append(f.Benchmarks, f64row, f32row)
+	f.Speedups[fmt.Sprintf("predict_bytes_f64_vs_f32_b%d", allocReqs)] =
+		float64(f64row.BytesPerOp) / float64(f32row.BytesPerOp)
+
+	blob, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s (%d records)", out, len(f.Benchmarks))

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"tdfm/internal/core"
+	"tdfm/internal/data"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// realMembers builds an ensemble of real (untrained) study networks whose
+// classifiers support float32 conversion, one per listed architecture.
+func realMembers(tb testing.TB, archs ...string) []Member {
+	tb.Helper()
+	ds := &data.Dataset{
+		X:          tensor.New(1, 1, 8, 8),
+		Labels:     []int{0},
+		NumClasses: 3,
+		Name:       "serve-precision",
+	}
+	ms := make([]Member, len(archs))
+	for i, arch := range archs {
+		clf, err := core.NewUntrained(
+			core.Config{Arch: arch, WidthMult: 0.25},
+			ds, xrand.New(uint64(31+i)).Split(arch))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ms[i] = Member{Name: arch, Clf: clf}
+	}
+	return ms
+}
+
+// TestPrecisionF32VotesMatchF64 pins the serving precision contract end
+// to end: a server running float32 member storage returns the same votes
+// as the float64 server for the same ensemble and input.
+func TestPrecisionF32VotesMatchF64(t *testing.T) {
+	archs := []string{"convnet", "mobilenet", "convnet"}
+
+	x := tensor.New(7, 1, 8, 8)
+	for i := range x.Data() {
+		x.Data()[i] = float64(i%13)/13 - 0.5
+	}
+
+	predict := func(p Precision) []int {
+		s, err := New(realMembers(t, archs...), 3, Options{Precision: p})
+		if err != nil {
+			t.Fatalf("precision %q: %v", p, err)
+		}
+		defer s.Drain()
+		res, err := s.Predict(x)
+		if err != nil {
+			t.Fatalf("precision %q: %v", p, err)
+		}
+		return res.Pred
+	}
+
+	want, got := predict(PrecisionF64), predict(PrecisionF32)
+	if len(got) != len(want) {
+		t.Fatalf("prediction counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: f32 vote %d, f64 vote %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUnknownPrecisionRejected pins the configuration error for a
+// precision the server does not implement.
+func TestUnknownPrecisionRejected(t *testing.T) {
+	_, err := New(fiveMembers(), 3, Options{Precision: "f16"})
+	if err == nil || !strings.Contains(err.Error(), "unknown precision") {
+		t.Fatalf("err = %v, want unknown-precision error", err)
+	}
+}
+
+// TestPrecisionF32RejectsUnconvertibleMember checks that a member whose
+// classifier has no float32 form fails server construction with the
+// member's name in the error, rather than silently serving it in f64.
+func TestPrecisionF32RejectsUnconvertibleMember(t *testing.T) {
+	_, err := New(fiveMembers(), 3, Options{Precision: PrecisionF32})
+	if err == nil || !strings.Contains(err.Error(), "alpha") {
+		t.Fatalf("err = %v, want conversion error naming member alpha", err)
+	}
+}

@@ -82,6 +82,24 @@ func (e *QuorumError) Error() string {
 // Unwrap ties the typed error to the ErrNoQuorum sentinel.
 func (e *QuorumError) Unwrap() error { return ErrNoQuorum }
 
+// Precision selects the numeric storage the server's members run
+// inference in (Options.Precision).
+type Precision string
+
+// Supported serving precisions.
+const (
+	// PrecisionF64 serves with the trained float64 networks unchanged —
+	// the default, bit-identical to offline evaluation.
+	PrecisionF64 Precision = "f64"
+	// PrecisionF32 converts every member to its float32 inference twin
+	// at server construction (core.ToF32): weights convert once,
+	// activations flow in float32, and memory traffic per prediction
+	// roughly halves. Probabilities drift by single-precision rounding
+	// only; votes match f64 whenever logit margins exceed the drift
+	// (DESIGN.md §10 documents the tolerance).
+	PrecisionF32 Precision = "f32"
+)
+
 // Member is one named ensemble member the server dispatches to.
 type Member struct {
 	// Name identifies the member in responses, events, breaker state,
@@ -146,6 +164,11 @@ type Options struct {
 	// Input is the expected per-sample shape (channels, height, width),
 	// used by the HTTP handler to validate and shape request payloads.
 	Input [3]int
+	// Precision selects the members' inference storage: PrecisionF64
+	// (default) serves the trained networks as-is; PrecisionF32 converts
+	// each member to its float32 twin at construction. New fails when a
+	// member cannot be converted or the value is unknown.
+	Precision Precision
 	// Clock supplies deadlines and cooldowns; tests inject a
 	// chaos.FakeClock. Default chaos.Wall().
 	Clock chaos.Clock
@@ -176,6 +199,9 @@ func (o Options) withDefaults(n int) Options {
 	}
 	if o.Clock == nil {
 		o.Clock = chaos.Wall()
+	}
+	if o.Precision == "" {
+		o.Precision = PrecisionF64
 	}
 	return o
 }
@@ -280,6 +306,22 @@ func New(members []Member, classes int, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: minimum quorum %d exceeds ensemble size %d",
 			opts.MinQuorum, len(members))
 	}
+	switch opts.Precision {
+	case PrecisionF64:
+	case PrecisionF32:
+		converted := make([]Member, len(members))
+		for i, m := range members {
+			clf, err := core.ToF32(m.Clf)
+			if err != nil {
+				return nil, fmt.Errorf("serve: member %s: %w", m.Name, err)
+			}
+			converted[i] = Member{Name: m.Name, Clf: clf}
+		}
+		members = converted
+	default:
+		return nil, fmt.Errorf("serve: unknown precision %q (have %q, %q)",
+			opts.Precision, PrecisionF64, PrecisionF32)
+	}
 	s := &Server{
 		members:  members,
 		classes:  classes,
@@ -350,6 +392,12 @@ func (s *Server) Drain() {
 	}
 	if s.batch != nil {
 		<-s.batch.done
+	}
+	if first {
+		// One shutdown-time snapshot of the buffer pool's reuse counters:
+		// operators read it to confirm pooling is paying off in production
+		// (see tdfmserve's shutdown log line).
+		s.emit(obs.Event{Kind: obs.KindPoolStats, Detail: tensor.Stats().String()})
 	}
 }
 

@@ -60,6 +60,33 @@ func convPerExample(x, w *Tensor) []*Tensor {
 	return out
 }
 
+// convBatchedPooled is convBatched with pool-owned storage: the column
+// matrix and the product come from NewPooled and return via Release, so
+// steady-state iterations recycle buffers instead of allocating. With
+// pooling disabled it degenerates to exactly the allocate-per-call path,
+// which is what the alloc benchmark's unpooled leg measures.
+func convBatchedPooled(x, w *Tensor) {
+	n, h, wd := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := convBenchGeom.OutSize(h, wd)
+	cols := NewPooled(n*oh*ow, convBenchC*convBenchGeom.KH*convBenchGeom.KW)
+	out := NewPooled(n*oh*ow, convBenchOutC)
+	Im2ColInto(cols, x, convBenchGeom)
+	cols.MatMulInto(out, w)
+	cols.Release()
+	out.Release()
+}
+
+// convBatchedF32 is the float32 flavour of convBatched, built from the
+// inference-precision kernels. It allocates its outputs fresh each call so
+// the B/op column directly reflects the storage-width saving over f64.
+func convBatchedF32(x, w *F32) *F32 {
+	n, h, wd := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := convBenchGeom.OutSize(h, wd)
+	cols := NewF32(n*oh*ow, convBenchC*convBenchGeom.KH*convBenchGeom.KW)
+	Im2ColF32Into(cols, x, convBenchGeom)
+	return cols.MatMulInto(NewF32(n*oh*ow, convBenchOutC), w)
+}
+
 func benchConv(b *testing.B, n int, batched bool) {
 	x, w := convBenchInput(n)
 	b.ReportAllocs()
@@ -81,12 +108,75 @@ func BenchmarkConvIm2ColMatMul(b *testing.B) {
 	}
 }
 
+// benchAllocConv measures the batched conv through the pool-aware path
+// with pooling forced on or off. One warm-up call primes the pool so the
+// pooled leg reports its steady state rather than first-touch misses.
+func benchAllocConv(b *testing.B, n int, pooled bool) {
+	old := PoolingEnabled()
+	SetPooling(pooled)
+	defer SetPooling(old)
+	x, w := convBenchInput(n)
+	convBatchedPooled(x, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		convBatchedPooled(x, w)
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// benchConvPrecision measures the batched conv at the given storage width
+// with pooling disabled on both sides, so the B/op delta isolates float32
+// versus float64 storage rather than buffer reuse. Conversion of the
+// inputs and weights happens once, outside the timer, matching how the
+// serving layer converts an ensemble once at startup.
+func benchConvPrecision(b *testing.B, n int, f32 bool) {
+	old := PoolingEnabled()
+	SetPooling(false)
+	defer SetPooling(old)
+	x, w := convBenchInput(n)
+	if f32 {
+		x32, w32 := F32FromTensor(x), F32FromTensor(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			convBatchedF32(x32, w32)
+		}
+	} else {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			convBatched(x, w)
+		}
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkAllocConv tracks the conv path's allocation rate with the
+// buffer pool on versus off (run with -benchmem; the allocs/op and B/op
+// columns are the point).
+func BenchmarkAllocConv(b *testing.B) {
+	b.Run("pooled", func(b *testing.B) { benchAllocConv(b, 32, true) })
+	b.Run("unpooled", func(b *testing.B) { benchAllocConv(b, 32, false) })
+}
+
+// BenchmarkConvPrecision compares the f64 and f32 conv kernels at equal
+// geometry (run with -benchmem; f32 should roughly halve B/op).
+func BenchmarkConvPrecision(b *testing.B) {
+	b.Run("f64", func(b *testing.B) { benchConvPrecision(b, 32, false) })
+	b.Run("f32", func(b *testing.B) { benchConvPrecision(b, 32, true) })
+}
+
 // benchRecord is one measured configuration in a BENCH_*.json trajectory.
 type benchRecord struct {
 	Name       string  `json:"name"`
 	Rows       int     `json:"rows"`
 	NsPerRow   float64 `json:"ns_per_row"`
 	RowsPerSec float64 `json:"rows_per_sec"`
+	// Memory columns, filled only by measureAlloc (per benchmark op, not
+	// per row, mirroring -benchmem).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
 }
 
 // benchFile is the committed benchmark baseline format shared by
@@ -108,10 +198,27 @@ func writeBenchFile(path string, f benchFile) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// measureRows runs fn through testing.Benchmark and converts the result
-// to a per-row record, where each fn iteration processes rows rows.
+// benchReps is how many times each record reruns testing.Benchmark; the
+// fastest repetition is kept. On a shared single-core host the slower
+// repetitions measure scheduler interference, not the code, and the
+// committed baseline should measure the code.
+const benchReps = 3
+
+// bestOf returns the fastest of benchReps testing.Benchmark runs of fn.
+func bestOf(fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < benchReps; i++ {
+		if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// measureRows runs fn through bestOf and converts the result to a
+// per-row record, where each fn iteration processes rows rows.
 func measureRows(name string, rows int, fn func(b *testing.B)) benchRecord {
-	r := testing.Benchmark(fn)
+	r := bestOf(fn)
 	perRow := float64(r.T.Nanoseconds()) / float64(r.N*rows)
 	return benchRecord{
 		Name:       name,
@@ -119,6 +226,30 @@ func measureRows(name string, rows int, fn func(b *testing.B)) benchRecord {
 		NsPerRow:   perRow,
 		RowsPerSec: 1e9 / perRow,
 	}
+}
+
+// measureAlloc is measureRows with the -benchmem columns attached: fn runs
+// with allocation tracking and the record carries allocs/op and B/op.
+func measureAlloc(name string, rows int, fn func(b *testing.B)) benchRecord {
+	r := bestOf(func(b *testing.B) { b.ReportAllocs(); fn(b) })
+	perRow := float64(r.T.Nanoseconds()) / float64(r.N*rows)
+	return benchRecord{
+		Name:        name,
+		Rows:        rows,
+		NsPerRow:    perRow,
+		RowsPerSec:  1e9 / perRow,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// ratio returns a/b guarding against a zero denominator (a perfectly
+// allocation-free pooled leg would otherwise divide by zero).
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }
 
 // TestEmitTensorBenchJSON measures the per-example versus batched conv
@@ -151,6 +282,26 @@ func TestEmitTensorBenchJSON(t *testing.T) {
 		f.Speedups[fmt.Sprintf("batched_vs_per_example_n%d", n)] =
 			single.NsPerRow / batched.NsPerRow
 	}
+
+	// Memory rows: pool on/off through the same code path, then f64
+	// versus f32 kernels with pooling off on both sides.
+	const allocN = 32
+	pooled := measureAlloc(fmt.Sprintf("alloc/conv/pooled/n=%d", allocN), allocN,
+		func(b *testing.B) { benchAllocConv(b, allocN, true) })
+	unpooled := measureAlloc(fmt.Sprintf("alloc/conv/unpooled/n=%d", allocN), allocN,
+		func(b *testing.B) { benchAllocConv(b, allocN, false) })
+	f64c := measureAlloc(fmt.Sprintf("conv/f64/n=%d", allocN), allocN,
+		func(b *testing.B) { benchConvPrecision(b, allocN, false) })
+	f32c := measureAlloc(fmt.Sprintf("conv/f32/n=%d", allocN), allocN,
+		func(b *testing.B) { benchConvPrecision(b, allocN, true) })
+	f.Benchmarks = append(f.Benchmarks, pooled, unpooled, f64c, f32c)
+	f.Speedups[fmt.Sprintf("conv_allocs_unpooled_vs_pooled_n%d", allocN)] =
+		ratio(unpooled.AllocsPerOp, pooled.AllocsPerOp)
+	f.Speedups[fmt.Sprintf("conv_bytes_unpooled_vs_pooled_n%d", allocN)] =
+		ratio(unpooled.BytesPerOp, pooled.BytesPerOp)
+	f.Speedups[fmt.Sprintf("conv_bytes_f64_vs_f32_n%d", allocN)] =
+		ratio(f64c.BytesPerOp, f32c.BytesPerOp)
+
 	if err := writeBenchFile(out, f); err != nil {
 		t.Fatal(err)
 	}

@@ -45,40 +45,30 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	g.Validate(h, w)
 	oh, ow := g.OutSize(h, w)
 	cols := New(n*oh*ow, c*g.KH*g.KW)
-	colStride := c * g.KH * g.KW
 	// Each image writes a disjoint block of rows, so image-sharding is
-	// bit-identical to the serial loop for any worker count.
-	pfor(n, n*oh*ow*colStride, func(imgLo, imgHi int) {
-		for img := imgLo; img < imgHi; img++ {
-			base := img * c * h * w
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*g.StrideH - g.PadH
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*g.StrideW - g.PadW
-					row := ((img*oh+oy)*ow + ox) * colStride
-					for ch := 0; ch < c; ch++ {
-						chBase := base + ch*h*w
-						for ky := 0; ky < g.KH; ky++ {
-							iy := iy0 + ky
-							dst := row + (ch*g.KH+ky)*g.KW
-							if iy < 0 || iy >= h {
-								continue // leave zeros
-							}
-							src := chBase + iy*w
-							for kx := 0; kx < g.KW; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								cols.data[dst+kx] = x.data[src+ix]
-							}
-						}
-					}
-				}
-			}
-		}
-	})
+	// bit-identical to the serial loop for any worker count (see
+	// im2colKernel in kernels.go).
+	im2colKernel(cols.data, x.data, n, c, h, w, g)
 	return cols
+}
+
+// Im2ColInto is Im2Col with caller-owned output storage: dst must be a
+// zero-filled [N*OH*OW, C*KH*KW] tensor (as returned by New, NewPooled, or
+// Arena.Tensor — padded positions rely on the zeros). It returns dst and
+// panics on a non-[N,C,H,W] input, degenerate geometry, or a destination
+// of the wrong shape.
+func Im2ColInto(dst, x *Tensor, g ConvGeom) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs [N,C,H,W], got %v", x.Shape()))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	g.Validate(h, w)
+	oh, ow := g.OutSize(h, w)
+	if dst.Dims() != 2 || dst.shape[0] != n*oh*ow || dst.shape[1] != c*g.KH*g.KW {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination %v, want [%d,%d]", dst.Shape(), n*oh*ow, c*g.KH*g.KW))
+	}
+	im2colKernel(dst.data, x.data, n, c, h, w, g)
+	return dst
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters (accumulating on overlap) a
@@ -93,38 +83,29 @@ func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
 	}
 	x := New(n, c, h, w)
 	// Overlapping windows only accumulate within one image, so sharding by
-	// image keeps the scatter deterministic and race-free.
-	pfor(n, n*oh*ow*colStride, func(imgLo, imgHi int) {
-		for img := imgLo; img < imgHi; img++ {
-			base := img * c * h * w
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*g.StrideH - g.PadH
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*g.StrideW - g.PadW
-					row := ((img*oh+oy)*ow + ox) * colStride
-					for ch := 0; ch < c; ch++ {
-						chBase := base + ch*h*w
-						for ky := 0; ky < g.KH; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							src := row + (ch*g.KH+ky)*g.KW
-							dst := chBase + iy*w
-							for kx := 0; kx < g.KW; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								x.data[dst+ix] += cols.data[src+kx]
-							}
-						}
-					}
-				}
-			}
-		}
-	})
+	// image keeps the scatter deterministic and race-free (see
+	// col2imKernel in kernels.go).
+	col2imKernel(x.data, cols.data, n, c, h, w, g)
 	return x
+}
+
+// Col2ImInto is Col2Im with caller-owned output storage: dst must be a
+// zero-filled [N,C,H,W] tensor (the scatter accumulates into it). The
+// geometry is taken from dst's shape. It returns dst and panics on a
+// column matrix that does not match dst's shape and geometry.
+func Col2ImInto(dst, cols *Tensor, g ConvGeom) *Tensor {
+	if dst.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: Col2ImInto needs an [N,C,H,W] destination, got %v", dst.Shape()))
+	}
+	n, c, h, w := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
+	g.Validate(h, w)
+	oh, ow := g.OutSize(h, w)
+	colStride := c * g.KH * g.KW
+	if cols.Dims() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != colStride {
+		panic(fmt.Sprintf("tensor: Col2Im got %v, want [%d,%d]", cols.Shape(), n*oh*ow, colStride))
+	}
+	col2imKernel(dst.data, cols.data, n, c, h, w, g)
+	return dst
 }
 
 // NCHWToRows converts an [N, C, OH, OW] activation produced as a
@@ -135,19 +116,24 @@ func RowsToNCHW(rows *Tensor, n, c, oh, ow int) *Tensor {
 		panic(fmt.Sprintf("tensor: RowsToNCHW got %v, want [%d,%d]", rows.Shape(), n*oh*ow, c))
 	}
 	out := New(n, c, oh, ow)
-	pfor(n, n*c*oh*ow, func(imgLo, imgHi int) {
-		for img := imgLo; img < imgHi; img++ {
-			for y := 0; y < oh; y++ {
-				for x := 0; x < ow; x++ {
-					row := ((img*oh+y)*ow + x) * c
-					for ch := 0; ch < c; ch++ {
-						out.data[((img*c+ch)*oh+y)*ow+x] = rows.data[row+ch]
-					}
-				}
-			}
-		}
-	})
+	rowsToNCHWKernel(out.data, rows.data, n, c, oh, ow)
 	return out
+}
+
+// RowsToNCHWInto is RowsToNCHW with caller-owned output storage: the
+// [N,C,OH,OW] geometry is taken from dst, whose every element is
+// overwritten. It returns dst and panics if rows is not the matching
+// position-major [N*OH*OW, C] matrix.
+func RowsToNCHWInto(dst, rows *Tensor) *Tensor {
+	if dst.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: RowsToNCHWInto needs an [N,C,OH,OW] destination, got %v", dst.Shape()))
+	}
+	n, c, oh, ow := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
+	if rows.Dims() != 2 || rows.shape[0] != n*oh*ow || rows.shape[1] != c {
+		panic(fmt.Sprintf("tensor: RowsToNCHW got %v, want [%d,%d]", rows.Shape(), n*oh*ow, c))
+	}
+	rowsToNCHWKernel(dst.data, rows.data, n, c, oh, ow)
+	return dst
 }
 
 // NCHWToRows converts an [N, C, OH, OW] tensor to position-major rows
@@ -158,16 +144,21 @@ func NCHWToRows(x *Tensor) *Tensor {
 	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	out := New(n*h*w, c)
-	pfor(n, n*c*h*w, func(imgLo, imgHi int) {
-		for img := imgLo; img < imgHi; img++ {
-			for ch := 0; ch < c; ch++ {
-				for y := 0; y < h; y++ {
-					for xx := 0; xx < w; xx++ {
-						out.data[((img*h+y)*w+xx)*c+ch] = x.data[((img*c+ch)*h+y)*w+xx]
-					}
-				}
-			}
-		}
-	})
+	nchwToRowsKernel(out.data, x.data, n, c, h, w)
 	return out
+}
+
+// NCHWToRowsInto is NCHWToRows with caller-owned output storage: dst must
+// be the position-major [N*H*W, C] matrix for x's shape; every element is
+// overwritten. It returns dst and panics on a shape mismatch.
+func NCHWToRowsInto(dst, x *Tensor) *Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: NCHWToRows needs [N,C,H,W], got %v", x.Shape()))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if dst.Dims() != 2 || dst.shape[0] != n*h*w || dst.shape[1] != c {
+		panic(fmt.Sprintf("tensor: NCHWToRowsInto destination %v, want [%d,%d]", dst.Shape(), n*h*w, c))
+	}
+	nchwToRowsKernel(dst.data, x.data, n, c, h, w)
+	return dst
 }

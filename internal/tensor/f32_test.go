@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"tdfm/internal/xrand"
+)
+
+func TestF32RoundTrip(t *testing.T) {
+	rng := xrand.New(11).Split("f32-roundtrip")
+	x := New(3, 4)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	f := F32FromTensor(x)
+	back := f.ToTensor()
+	if !back.SameShape(x) {
+		t.Fatalf("round trip shape %v, want %v", back.Shape(), x.Shape())
+	}
+	for i := range x.Data() {
+		if math.Abs(back.Data()[i]-x.Data()[i]) > 1e-6*math.Abs(x.Data()[i])+1e-12 {
+			t.Fatalf("round trip drift at %d: %v vs %v", i, back.Data()[i], x.Data()[i])
+		}
+	}
+}
+
+// TestF32MatMulExactOnSmallInts pins that the f32 kernel is the same
+// algorithm as the f64 kernel: on small-integer inputs both are exact, so
+// they must agree bit for bit after conversion.
+func TestF32MatMulExactOnSmallInts(t *testing.T) {
+	rng := xrand.New(11).Split("f32-matmul")
+	a := New(5, 7)
+	b := New(7, 6)
+	for i := range a.Data() {
+		a.Data()[i] = float64(rng.IntN(9) - 4)
+	}
+	for i := range b.Data() {
+		b.Data()[i] = float64(rng.IntN(9) - 4)
+	}
+	want := a.MatMul(b)
+
+	a32, b32 := F32FromTensor(a), F32FromTensor(b)
+	got := a32.MatMulInto(NewF32(5, 6), b32).ToTensor()
+	for i := range want.Data() {
+		if got.Data()[i] != want.Data()[i] {
+			t.Fatalf("f32 matmul differs at %d on exact inputs: %v vs %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// TestF32ConvPipelineParity runs the f32 im2col → matmul → rows-to-NCHW
+// pipeline against the f64 one on random inputs and checks the results
+// agree within single-precision tolerance.
+func TestF32ConvPipelineParity(t *testing.T) {
+	rng := xrand.New(11).Split("f32-conv")
+	const n, c, h, w, outC = 2, 3, 8, 8, 4
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	x := New(n, c, h, w)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	wgt := New(c*g.KH*g.KW, outC)
+	for i := range wgt.Data() {
+		wgt.Data()[i] = rng.NormFloat64() * 0.1
+	}
+	oh, ow := g.OutSize(h, w)
+
+	cols := Im2Col(x, g)
+	rows := cols.MatMul(wgt)
+	want := RowsToNCHW(rows, n, outC, oh, ow)
+
+	x32, w32 := F32FromTensor(x), F32FromTensor(wgt)
+	cols32 := Im2ColF32Into(NewF32(n*oh*ow, c*g.KH*g.KW), x32, g)
+	rows32 := cols32.MatMulInto(NewF32(n*oh*ow, outC), w32)
+	got := RowsToNCHWF32Into(NewF32(n, outC, oh, ow), rows32).ToTensor()
+
+	for i := range want.Data() {
+		if math.Abs(got.Data()[i]-want.Data()[i]) > 1e-4 {
+			t.Fatalf("f32 conv pipeline drift at %d: %v vs %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// TestIntoVariantsMatchAllocating pins the Into variants against their
+// allocating counterparts bit for bit (they share kernels; this guards
+// the wrappers' shape plumbing).
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := xrand.New(11).Split("into-parity")
+	const m, k, n = 9, 11, 8
+	a := New(m, k)
+	b := New(k, n)
+	bt := New(n, k)
+	at := New(k, m)
+	for _, ten := range []*Tensor{a, b, bt, at} {
+		for i := range ten.Data() {
+			ten.Data()[i] = rng.NormFloat64()
+		}
+	}
+	checks := []struct {
+		name      string
+		want, got *Tensor
+	}{
+		{"MatMul", a.MatMul(b), a.MatMulInto(New(m, n), b)},
+		{"MatMulTransA", at.MatMulTransA(b), at.MatMulTransAInto(New(m, n), b)},
+		{"MatMulTransB", a.MatMulTransB(bt), a.MatMulTransBInto(New(m, n), bt)},
+		{"SumRows", a.SumRows(), a.SumRowsInto(New(k))},
+	}
+	for _, c := range checks {
+		for i := range c.want.Data() {
+			if c.want.Data()[i] != c.got.Data()[i] {
+				t.Fatalf("%s Into variant differs at %d", c.name, i)
+			}
+		}
+	}
+
+	x := New(2, 3, 6, 6)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	g := ConvGeom{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	oh, ow := g.OutSize(6, 6)
+	wantCols := Im2Col(x, g)
+	gotCols := Im2ColInto(New(2*oh*ow, 3*9), x, g)
+	for i := range wantCols.Data() {
+		if wantCols.Data()[i] != gotCols.Data()[i] {
+			t.Fatalf("Im2ColInto differs at %d", i)
+		}
+	}
+	wantIm := Col2Im(wantCols, 2, 3, 6, 6, g)
+	gotIm := Col2ImInto(New(2, 3, 6, 6), wantCols, g)
+	for i := range wantIm.Data() {
+		if wantIm.Data()[i] != gotIm.Data()[i] {
+			t.Fatalf("Col2ImInto differs at %d", i)
+		}
+	}
+	rows := NCHWToRows(x)
+	gotRows := NCHWToRowsInto(New(2*36, 3), x)
+	for i := range rows.Data() {
+		if rows.Data()[i] != gotRows.Data()[i] {
+			t.Fatalf("NCHWToRowsInto differs at %d", i)
+		}
+	}
+	wantBack := RowsToNCHW(rows, 2, 3, 6, 6)
+	gotBack := RowsToNCHWInto(New(2, 3, 6, 6), rows)
+	for i := range wantBack.Data() {
+		if wantBack.Data()[i] != gotBack.Data()[i] {
+			t.Fatalf("RowsToNCHWInto differs at %d", i)
+		}
+	}
+}

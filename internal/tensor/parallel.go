@@ -35,11 +35,25 @@ func Parallelism() int { return int(maxPar.Load()) }
 // arithmetic saved.
 const minParOps = 1 << 15
 
+// parWorkers returns the worker count an operation with ops inner-loop
+// operations should fan out to: 1 (serial) unless more than one worker
+// is allowed and the op is big enough to amortize goroutine startup.
+// Kernels branch on it before building a shard closure, so the serial
+// path — the common case on small machines and small operands — does
+// not allocate.
+func parWorkers(ops int) int {
+	w := Parallelism()
+	if w < 2 || ops < minParOps {
+		return 1
+	}
+	return w
+}
+
 // pfor shards [0, n) across workers when the operation performs enough
 // work to amortize fan-out, and runs fn(0, n) inline otherwise.
 func pfor(n int, ops int, fn func(lo, hi int)) {
-	w := Parallelism()
-	if w < 2 || ops < minParOps {
+	w := parWorkers(ops)
+	if w < 2 {
 		fn(0, n)
 		return
 	}

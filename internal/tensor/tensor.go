@@ -20,6 +20,9 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float64
+	// pooled marks storage obtained from the global buffer pool via
+	// NewPooled; Release returns it (DESIGN.md §10).
+	pooled bool
 }
 
 // New returns a zero-filled tensor with the given shape. It panics if any
@@ -28,6 +31,12 @@ func New(shape ...int) *Tensor {
 	n := checkShape(shape)
 	t := &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
 	return t
+}
+
+// NewLike returns a zero-filled tensor with x's shape, without the
+// intermediate shape copy an x.Shape() spread would allocate.
+func NewLike(x *Tensor) *Tensor {
+	return New(x.shape...)
 }
 
 // Full returns a tensor of the given shape with every element set to v.
@@ -58,7 +67,11 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			// Hand fmt a copy: letting shape itself reach an any parameter
+			// would mark it escaping and heap-allocate the variadic shape
+			// slice of every New/Arena.Tensor call on the happy path too
+			// (escape analysis is flow-insensitive).
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}
@@ -201,11 +214,44 @@ func ConcatRows(parts ...*Tensor) *Tensor {
 	shape := append([]int(nil), parts[0].shape...)
 	shape[0] = rows
 	out := New(shape...)
+	concatRowsInto(out, parts)
+	return out
+}
+
+// ConcatRowsPooled is ConcatRows with pool-backed output storage (see
+// NewPooled): the caller owns the result and should Release it when the
+// last reader is done. The serving batcher stacks each micro-batch into
+// one and releases it after the fan-out completes.
+func ConcatRowsPooled(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatRows needs at least one part")
+	}
+	rows := 0
+	for i, p := range parts {
+		if len(p.shape) != len(parts[0].shape) {
+			panic(fmt.Sprintf("tensor: ConcatRows rank mismatch %v vs %v", parts[0].shape, p.shape))
+		}
+		for d := 1; d < len(p.shape); d++ {
+			if p.shape[d] != parts[0].shape[d] {
+				panic(fmt.Sprintf("tensor: ConcatRows trailing-dimension mismatch %v vs %v (part %d)",
+					parts[0].shape, p.shape, i))
+			}
+		}
+		rows += p.shape[0]
+	}
+	shape := append([]int(nil), parts[0].shape...)
+	shape[0] = rows
+	out := NewPooled(shape...)
+	concatRowsInto(out, parts)
+	return out
+}
+
+// concatRowsInto copies the validated parts into out's storage in order.
+func concatRowsInto(out *Tensor, parts []*Tensor) {
 	off := 0
 	for _, p := range parts {
 		off += copy(out.data[off:], p.data)
 	}
-	return out
 }
 
 // Zero sets every element to 0 in place.
@@ -430,56 +476,31 @@ func (t *Tensor) MatMul(u *Tensor) *Tensor {
 	}
 	out := New(m, n)
 	// Each worker owns a contiguous block of output rows, so any worker
-	// count reproduces the serial result bit for bit.
-	pfor(m, m*k*n, func(lo, hi int) {
-		if k <= blockK && n <= blockN {
-			// Small operands: the i-k-j loop order keeps the innermost
-			// accesses sequential in both the output row and the right
-			// operand row, which matters on tiny caches.
-			for i := lo; i < hi; i++ {
-				ti := t.data[i*k : (i+1)*k]
-				oi := out.data[i*n : (i+1)*n]
-				for p := 0; p < k; p++ {
-					a := ti[p]
-					if a == 0 {
-						continue
-					}
-					up := u.data[p*n : (p+1)*n]
-					for j, b := range up {
-						oi[j] += a * b
-					}
-				}
-			}
-			return
-		}
-		for p0 := 0; p0 < k; p0 += blockK {
-			p1 := p0 + blockK
-			if p1 > k {
-				p1 = k
-			}
-			for j0 := 0; j0 < n; j0 += blockN {
-				j1 := j0 + blockN
-				if j1 > n {
-					j1 = n
-				}
-				for i := lo; i < hi; i++ {
-					ti := t.data[i*k : (i+1)*k]
-					oi := out.data[i*n+j0 : i*n+j1]
-					for p := p0; p < p1; p++ {
-						a := ti[p]
-						if a == 0 {
-							continue
-						}
-						up := u.data[p*n+j0 : p*n+j1]
-						for j, b := range up {
-							oi[j] += a * b
-						}
-					}
-				}
-			}
-		}
-	})
+	// count reproduces the serial result bit for bit (see gemm in
+	// kernels.go for the blocked loop itself).
+	gemm(out.data, t.data, u.data, m, k, n)
 	return out
+}
+
+// MatMulInto computes t × u into dst, a zero-filled [m,n] tensor (as
+// returned by New, NewPooled, or Arena.Tensor), and returns dst. It is
+// MatMul with caller-owned output storage: the arena-backed layers use it
+// to keep matmul results out of the garbage collector. It panics on
+// non-2-D operands or any dimension mismatch.
+func (t *Tensor) MatMulInto(dst, u *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(u.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-d operands, got %v and %v", t.shape, u.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", t.shape, u.shape))
+	}
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto destination %v, want [%d,%d]", dst.shape, m, n))
+	}
+	gemm(dst.data, t.data, u.data, m, k, n)
+	return dst
 }
 
 // MatMulTransA returns tᵀ × u for 2-D tensors t [k,m], u [k,n] -> [m,n].
@@ -497,22 +518,27 @@ func (t *Tensor) MatMulTransA(u *Tensor) *Tensor {
 	// over output columns: each worker applies the full p loop to its own
 	// column window, preserving the serial ascending-p accumulation order
 	// per element (bit-identical for any worker count).
-	pfor(n, k*m*n, func(jlo, jhi int) {
-		for p := 0; p < k; p++ {
-			tp := t.data[p*m : (p+1)*m]
-			up := u.data[p*n+jlo : p*n+jhi]
-			for i, a := range tp {
-				if a == 0 {
-					continue
-				}
-				oi := out.data[i*n+jlo : i*n+jhi]
-				for j, b := range up {
-					oi[j] += a * b
-				}
-			}
-		}
-	})
+	gemmTransA(out.data, t.data, u.data, k, m, n)
 	return out
+}
+
+// MatMulTransAInto computes tᵀ × u into dst, a zero-filled [m,n] tensor,
+// and returns dst (MatMulTransA with caller-owned output storage). It
+// panics on non-2-D operands or any dimension mismatch.
+func (t *Tensor) MatMulTransAInto(dst, u *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(u.shape) != 2 {
+		panic("tensor: MatMulTransA needs 2-d operands")
+	}
+	k, m := t.shape[0], t.shape[1]
+	k2, n := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v × %v", t.shape, u.shape))
+	}
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto destination %v, want [%d,%d]", dst.shape, m, n))
+	}
+	gemmTransA(dst.data, t.data, u.data, k, m, n)
+	return dst
 }
 
 // MatMulTransB returns t × uᵀ for 2-D tensors t [m,k], u [n,k] -> [m,n].
@@ -526,21 +552,28 @@ func (t *Tensor) MatMulTransB(u *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %v", t.shape, u.shape))
 	}
 	out := New(m, n)
-	pfor(m, m*k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ti := t.data[i*k : (i+1)*k]
-			oi := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				uj := u.data[j*k : (j+1)*k]
-				s := 0.0
-				for p, a := range ti {
-					s += a * uj[p]
-				}
-				oi[j] = s
-			}
-		}
-	})
+	gemmTransB(out.data, t.data, u.data, m, k, n)
 	return out
+}
+
+// MatMulTransBInto computes t × uᵀ into dst, an [m,n] tensor whose every
+// element is overwritten, and returns dst (MatMulTransB with caller-owned
+// output storage). It panics on non-2-D operands or any dimension
+// mismatch.
+func (t *Tensor) MatMulTransBInto(dst, u *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(u.shape) != 2 {
+		panic("tensor: MatMulTransB needs 2-d operands")
+	}
+	m, k := t.shape[0], t.shape[1]
+	n, k2 := u.shape[0], u.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %v", t.shape, u.shape))
+	}
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto destination %v, want [%d,%d]", dst.shape, m, n))
+	}
+	gemmTransB(dst.data, t.data, u.data, m, k, n)
+	return dst
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.
@@ -565,13 +598,24 @@ func (t *Tensor) SumRows() *Tensor {
 	}
 	rows, cols := t.shape[0], t.shape[1]
 	out := New(cols)
-	for r := 0; r < rows; r++ {
-		row := t.data[r*cols : (r+1)*cols]
-		for c, v := range row {
-			out.data[c] += v
-		}
-	}
+	sumRows(out.data, t.data, rows, cols)
 	return out
+}
+
+// SumRowsInto accumulates the column sums of a [rows, cols] tensor into
+// dst, a zero-filled [cols] tensor, and returns dst (SumRows with
+// caller-owned output storage). It panics on a non-2-D receiver or a
+// destination of the wrong shape.
+func (t *Tensor) SumRowsInto(dst *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: SumRows needs a 2-d tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if len(dst.shape) != 1 || dst.shape[0] != cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto destination %v, want [%d]", dst.shape, cols))
+	}
+	sumRows(dst.data, t.data, rows, cols)
+	return dst
 }
 
 // AddRowVectorIn adds the [cols] vector v to every row of a [rows, cols]
@@ -581,12 +625,7 @@ func (t *Tensor) AddRowVectorIn(v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: AddRowVectorIn shape mismatch %v + %v", t.shape, v.shape))
 	}
 	rows, cols := t.shape[0], t.shape[1]
-	for r := 0; r < rows; r++ {
-		row := t.data[r*cols : (r+1)*cols]
-		for c := range row {
-			row[c] += v.data[c]
-		}
-	}
+	addRowVector(t.data, v.data, rows, cols)
 	return t
 }
 
