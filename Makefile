@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race chaos serve-chaos bench bench-serve bench-mem bench-parallel repro examples vet vet-docs lint fmt clean
+.PHONY: build test test-race chaos serve-chaos swap-chaos bench bench-serve bench-mem bench-parallel repro examples vet vet-docs lint fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -15,7 +15,7 @@ vet:
 # packages must carry godoc comments (see cmd/vetdocs).
 vet-docs:
 	go run ./cmd/vetdocs internal/obs internal/parallel internal/experiment \
-	    internal/faultinject internal/metrics
+	    internal/faultinject internal/metrics internal/registry internal/serve
 
 # Static-analysis gate: the full tdfmlint pass suite — nodeterminism,
 # maporder, errwrap, paniccontract, docs — over every package
@@ -51,6 +51,17 @@ chaos:
 # ordering — all under the race detector on an injected fake clock.
 serve-chaos:
 	go test -race ./internal/serve/...
+
+# Hot-swap/supervision acceptance suite (DESIGN.md §11): the registry's
+# corruption/concurrency contract, then the registry → hot-swap →
+# supervision pipeline — an atomic swap under sustained load with zero
+# dropped requests and byte-identical votes, and a member crash that
+# degrades the quorum, restarts under supervision, and heals — every
+# timing path on a FakeClock (zero wall-clock sleeps), under the race
+# detector.
+swap-chaos:
+	go test -race -count=1 ./internal/registry/...
+	go test -race -count=1 -run '^TestSwapChaos' ./internal/serve/
 
 # Full benchmark suite: regenerates every table/figure once (tiny scale).
 bench:

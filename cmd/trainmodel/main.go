@@ -6,7 +6,13 @@
 //
 //	trainmodel -model resnet18 -dataset gtsrblike -technique ls \
 //	           -faults mislabel@0.3 [-epochs 16] [-workers W] [-save weights.gob] \
-//	           [-progress] [-pprof cpu.out] [-trace trace.out]
+//	           [-publish ./registry] [-progress] [-pprof cpu.out] [-trace trace.out]
+//
+// -publish serializes the trained classifier (single networks and
+// voting ensembles alike) into a model registry directory as its next
+// digest-verified version; `tdfmserve -model ./registry` serves it, and
+// a running `tdfmserve -watch` hot-swaps to it with zero dropped
+// requests. -save remains the raw single-network weight dump.
 //
 // -progress prints a periodic heartbeat line while training runs; -pprof
 // and -trace write a CPU profile and a runtime execution trace.
@@ -34,6 +40,7 @@ import (
 	"tdfm/internal/metrics"
 	"tdfm/internal/obs"
 	"tdfm/internal/parallel"
+	"tdfm/internal/registry"
 	"tdfm/internal/tensor"
 	"tdfm/internal/xrand"
 )
@@ -57,6 +64,7 @@ func run(args []string) error {
 		scaleStr  = fs.String("scale", "tiny", "dataset scale: tiny|small|medium")
 		clean     = fs.Float64("clean", 0.1, "clean fraction reserved for label correction")
 		save      = fs.String("save", "", "write the trained technique model's weights to this path (gob)")
+		publish   = fs.String("publish", "", "publish the trained classifier to this model registry directory as its next version")
 		workersN  = fs.Int("workers", 0, "worker pool size for ensemble members and tensor kernels (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		progress  = fs.Bool("progress", false, "print a periodic heartbeat line while training")
 		pprofPath = fs.String("pprof", "", "write a CPU profile to this path")
@@ -200,6 +208,17 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("saved weights to %s\n", *save)
+	}
+	if *publish != "" {
+		note := fmt.Sprintf("dataset=%s technique=%s seed=%d scale=%s", *dataset, *tech, *seed, *scaleStr)
+		if *faults != "" {
+			note += " faults=" + *faults
+		}
+		man, err := registry.Publish(*publish, clf, registry.PublishOptions{Note: note})
+		if err != nil {
+			return fmt.Errorf("publishing to %s: %w", *publish, err)
+		}
+		fmt.Printf("published %s (%s, %d bytes) to %s\n", man.Label(), man.Digest, man.Size, *publish)
 	}
 	return nil
 }

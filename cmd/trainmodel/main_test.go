@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+
+	"tdfm/internal/registry"
 )
 
 func TestResolveWorkers(t *testing.T) {
@@ -54,6 +56,32 @@ func TestRunTrainsAndSaves(t *testing.T) {
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
 		t.Fatalf("weights not written: %v", err)
+	}
+}
+
+// TestRunTrainsAndPublishes pins the registry handoff: -publish
+// installs the trained classifier as version 1 of a fresh registry,
+// with a digest-verified artifact tdfmserve -model can open.
+func TestRunTrainsAndPublishes(t *testing.T) {
+	dir := t.TempDir()
+	reg := filepath.Join(dir, "registry")
+	err := run([]string{
+		"-model", "convnet", "-dataset", "pneumonialike",
+		"-technique", "base", "-epochs", "1", "-workers", "2",
+		"-publish", reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, man, err := registry.Open(reg, 0)
+	if err != nil {
+		t.Fatalf("opening published version: %v", err)
+	}
+	if man.Version != 1 || clf == nil {
+		t.Fatalf("published manifest = %+v", man)
+	}
+	if want := "dataset=pneumonialike technique=base seed=1 scale=tiny"; man.Note != want {
+		t.Fatalf("note = %q, want %q", man.Note, want)
 	}
 }
 

@@ -18,12 +18,19 @@
 //	obs.journal.append       error on the journal's durable append
 //	serve/member             delay/panic/error inside one ensemble
 //	                         member's inference dispatch
+//	serve/spawn              error launching a member shard process
+//	                         (exercises the supervisor's start-failed path)
+//	registry.publish         error between artifact install and manifest
+//	                         append (a crashed publisher)
+//	registry.open            error opening a published version (a version
+//	                         that refuses to load, without touching disk)
 //
 // Labels scope a fault to specific runs: the trainer passes its Config.Tag
 // (the experiment runner sets it to the cell key), the cell and journal
-// points pass the cell key, and the serving layer passes
-// "<request id>/<member name>". Matching is by substring; an empty
-// pattern matches every label.
+// points pass the cell key, the serving layer passes
+// "<request id>/<member name>", the spawn point passes the member name,
+// and the registry points pass the version label ("v3"). Matching is by
+// substring; an empty pattern matches every label.
 package chaos
 
 import (

@@ -110,7 +110,8 @@ func (c Config) buildFor(ds *data.Dataset, rng *xrand.RNG) (Classifier, *builtMo
 	// chunk (DESIGN.md §10). With pooling disabled the arena is inert and
 	// allocation behaviour is exactly the historical per-call path.
 	nn.InstallArena(net, tensor.NewArena())
-	bm := &builtModel{net: net, cfg: resolved, classes: ds.NumClasses}
+	bm := &builtModel{net: net, cfg: resolved, classes: ds.NumClasses,
+		inC: ds.Channels(), inH: ds.Height(), inW: ds.Width()}
 	return bm, bm, nil
 }
 

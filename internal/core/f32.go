@@ -17,6 +17,11 @@ import (
 type f32Model struct {
 	net     *nn.F32Net
 	classes int
+	// src is the float64 model the twin was converted from. It stays
+	// referenced so the twin remains serializable: Export publishes the
+	// f64 source of truth (tagged f32) and Import re-derives the twin,
+	// making the f64→f32 round trip bit-exact.
+	src *builtModel
 	// mu serializes inference for the same reason builtModel's does: the
 	// twin's arena recycles activations and is not safe for concurrent
 	// use, and serving fans concurrent requests out to shared members.
@@ -66,7 +71,7 @@ func ToF32(c Classifier) (Classifier, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &f32Model{net: net, classes: v.classes}, nil
+		return &f32Model{net: net, classes: v.classes, src: v}, nil
 	case *VotingClassifier:
 		members := make([]Classifier, len(v.Members))
 		for i, m := range v.Members {

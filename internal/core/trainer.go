@@ -21,6 +21,10 @@ type builtModel struct {
 	net     *nn.Sequential
 	cfg     Config
 	classes int
+	// inC, inH, inW record the input shape the network was built for, so
+	// the model can be serialized (Export) and rebuilt (Import) without
+	// the original dataset at hand.
+	inC, inH, inW int
 	// mu serializes inference: the network's arena recycles activations
 	// and is not safe for concurrent use, and the serving layer fans
 	// concurrent requests out to shared member models. Fan-out across

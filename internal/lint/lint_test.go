@@ -152,7 +152,9 @@ func TestDirectives(t *testing.T) {
 
 // TestNoDeterminismAllowlist pins the sanctioned package set: the
 // randomness/concurrency/observability layers and cmd/ binaries are
-// exempt, everything else is not.
+// exempt, everything else is not — and cmd/tdfmserve is denied back
+// out of the cmd/ subtree, because its supervision and hot-swap timers
+// must stay on chaos.Clock for the swap-chaos acceptance suite.
 func TestNoDeterminismAllowlist(t *testing.T) {
 	p := NewNoDeterminism()
 	for _, rel := range []string{"internal/xrand", "internal/obs", "internal/parallel", "internal/chaos", "cmd", "cmd/tdfmbench", "cmd/trainmodel"} {
@@ -160,10 +162,31 @@ func TestNoDeterminismAllowlist(t *testing.T) {
 			t.Errorf("%s should be allowlisted", rel)
 		}
 	}
-	for _, rel := range []string{"internal/experiment", "internal/report", "internal/metrics", ".", "internal/obsolete", "commando"} {
+	for _, rel := range []string{"internal/experiment", "internal/report", "internal/metrics", ".", "internal/obsolete", "commando", "cmd/tdfmserve"} {
 		if p.allowed(rel) {
 			t.Errorf("%s should NOT be allowlisted", rel)
 		}
+	}
+}
+
+// TestNoDeterminismDenySubtrees pins Deny semantics: Deny beats Allow,
+// subtree entries work on both sides, and an empty Deny changes
+// nothing.
+func TestNoDeterminismDenySubtrees(t *testing.T) {
+	p := &NoDeterminism{Allow: []string{"cmd/"}, Deny: []string{"cmd/serve/"}}
+	for rel, want := range map[string]bool{
+		"cmd":             true,
+		"cmd/other":       true,
+		"cmd/serve":       false, // denied exactly (trailing slash matches the bare path too)
+		"cmd/serve/child": false, // denied as a subtree
+		"internal/x":      false, // never allowed in the first place
+	} {
+		if got := p.allowed(rel); got != want {
+			t.Errorf("allowed(%q) = %v, want %v", rel, got, want)
+		}
+	}
+	if p := (&NoDeterminism{Allow: []string{"cmd/"}}); !p.allowed("cmd/serve") {
+		t.Error("empty Deny must leave the allowlist untouched")
 	}
 }
 

@@ -34,24 +34,41 @@ import (
 // Packages on the allowlist are exempt wholesale: the sanctioned
 // randomness/concurrency/observability layers need these primitives to
 // exist, and cmd/ binaries legitimately time and parallelize their own
-// UX (progress lines, signal handling). Everywhere else a finding
-// needs a fix or a reasoned //tdfm:allow.
+// UX (progress lines, signal handling). A Deny entry carves a package
+// back out of an allowed subtree: it is linted like any other package,
+// so its exemptions must be per-line //tdfm:allow directives with
+// reasons instead of a blanket pass. Everywhere else a finding needs a
+// fix or a reasoned //tdfm:allow.
 type NoDeterminism struct {
 	// Allow lists module-relative package paths exempt from the pass; a
 	// trailing slash entry ("cmd/") exempts the whole subtree.
 	Allow []string
+	// Deny lists packages excluded from Allow again (same syntax,
+	// including trailing-slash subtrees). Deny beats Allow: a package
+	// matching both is linted.
+	Deny []string
 }
 
 // NewNoDeterminism returns the pass with the repo's sanctioned
 // allowlist.
 func NewNoDeterminism() *NoDeterminism {
-	return &NoDeterminism{Allow: []string{
-		"internal/xrand",    // the sanctioned RNG wraps math/rand/v2's PCG
-		"internal/obs",      // journal timestamps, progress ETAs, heartbeats
-		"internal/parallel", // the shared worker-pool implementation
-		"internal/chaos",    // fault injection arms goroutine-shaped failures
-		"cmd/",              // CLIs own their wall-clock UX and signal handling
-	}}
+	return &NoDeterminism{
+		Allow: []string{
+			"internal/xrand",    // the sanctioned RNG wraps math/rand/v2's PCG
+			"internal/obs",      // journal timestamps, progress ETAs, heartbeats
+			"internal/parallel", // the shared worker-pool implementation
+			"internal/chaos",    // fault injection arms goroutine-shaped failures
+			"cmd/",              // CLIs own their wall-clock UX and signal handling
+		},
+		Deny: []string{
+			// The serving binary hosts hot-swap and member supervision:
+			// its backoff and health timers must run on chaos.Clock so the
+			// swap-chaos acceptance suite can drive them with a FakeClock.
+			// Operator-UX exceptions in it are individually justified with
+			// //tdfm:allow.
+			"cmd/tdfmserve",
+		},
+	}
 }
 
 // Name implements Pass.
@@ -62,9 +79,16 @@ func (p *NoDeterminism) Doc() string {
 	return "global math/rand, wall-clock reads and waits, and bare goroutines outside the sanctioned packages"
 }
 
-// allowed reports whether the package is exempt.
+// allowed reports whether the package is exempt: on the allowlist and
+// not carved back out by the denylist.
 func (p *NoDeterminism) allowed(rel string) bool {
-	for _, a := range p.Allow {
+	return !matchPath(p.Deny, rel) && matchPath(p.Allow, rel)
+}
+
+// matchPath reports whether rel matches any listed path, exactly or
+// under a trailing-slash subtree entry.
+func matchPath(list []string, rel string) bool {
+	for _, a := range list {
 		if rel == a || rel == strings.TrimSuffix(a, "/") {
 			return true
 		}

@@ -39,6 +39,24 @@ func Deadline() {
 	<-time.After(time.Second) // want "time.After waits on the wall clock"
 }
 
+// Supervise mirrors a member-supervisor loop pacing restarts with a
+// bare wall-clock timer: exactly the construct that makes a
+// backoff-under-chaos test impossible to drive deterministically. The
+// fix is the injected-clock idiom below.
+func Supervise(exit <-chan error, stop <-chan struct{}) {
+	for {
+		t := time.NewTimer(time.Second) // want "time.NewTimer waits on the wall clock"
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-exit:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
 // Clock mirrors the injected-clock idiom (chaos.Clock): code that takes
 // its time source as an interface is deterministic under a fake clock.
 type Clock interface {

@@ -44,6 +44,11 @@ func NewF32Net(l Layer) (*F32Net, error) {
 	return &F32Net{layers: []f32Layer{fl}, arena: tensor.NewArena()}, nil
 }
 
+// Arena returns the twin's activation arena so owners that retire the
+// network (a hot-swapped model version) can Release its pooled storage
+// back to the global pool.
+func (n *F32Net) Arena() *tensor.Arena { return n.arena }
+
 // Forward runs float32 inference on a float64 input batch and returns the
 // logits converted back to float64 (fresh storage, safe to retain). All
 // intermediate activations are recycled before returning.

@@ -96,9 +96,26 @@ const (
 	KindBatchFlush
 	// KindPoolStats reports a snapshot of the tensor buffer-pool reuse
 	// counters in Event.Detail ("pool-hit=… pool-miss=… pool-bytes=…"),
-	// emitted once by the serving layer's Drain so operators can confirm
-	// pooling effectiveness at shutdown.
+	// emitted by the serving layer's Drain — at shutdown and on every
+	// model hot-swap, where Event.Key names the retiring model version —
+	// so arena leaks across swaps are observable, not just at exit.
 	KindPoolStats
+	// KindPublish reports a model version published to the registry;
+	// Event.Key is the version label ("v3") and Event.Detail the artifact
+	// digest.
+	KindPublish
+	// KindSwap reports an atomic model hot-swap in the serving layer;
+	// Event.Key is the incoming version label and Event.Detail the
+	// transition ("v2→v3 digest=sha256:…"). The swap is complete — the old
+	// version drained — when the event is emitted.
+	KindSwap
+	// KindMemberRestart reports the member supervisor reacting to a dead
+	// or unhealthy member process: Event.Member names the member, Event.N
+	// is the consecutive-failure count, Event.Dur the backoff before the
+	// next start attempt, Event.Err the exit or health-probe error, and
+	// Event.Detail the phase ("exited", "unhealthy", "start-failed",
+	// "restarted").
+	KindMemberRestart
 )
 
 // String returns a stable lower-case name for the kind.
@@ -144,6 +161,12 @@ func (k Kind) String() string {
 		return "batch-flush"
 	case KindPoolStats:
 		return "pool-stats"
+	case KindPublish:
+		return "publish"
+	case KindSwap:
+		return "swap"
+	case KindMemberRestart:
+		return "member-restart"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -11,7 +11,10 @@ import (
 func TestKindString(t *testing.T) {
 	kinds := []Kind{KindGridPlan, KindCellStart, KindCellFinish, KindCacheHit,
 		KindCacheMiss, KindCellRestored, KindJournalError,
-		KindCellRetry, KindCellPanic, KindCellDiverged, KindCellCancelled}
+		KindCellRetry, KindCellPanic, KindCellDiverged, KindCellCancelled,
+		KindReqAdmit, KindReqShed, KindReqDone, KindMemberTimeout,
+		KindMemberPanic, KindMemberError, KindBreakerChange, KindBatchFlush,
+		KindPoolStats, KindPublish, KindSwap, KindMemberRestart}
 	seen := make(map[string]bool)
 	for _, k := range kinds {
 		s := k.String()

@@ -206,6 +206,15 @@ func (s *Server) memberOutcome(key string, idx int, x *tensor.Tensor) (o outcome
 			}
 		}
 	}
+	// Error-aware members (remote shards) report transport failures as
+	// member errors; plain classifiers keep the panic-recovery path.
+	if pe, ok := s.members[idx].Clf.(ProbsErrer); ok {
+		o.probs, o.err = pe.PredictProbsErr(x)
+		if o.err != nil {
+			o.probs = nil
+		}
+		return o
+	}
 	o.probs = s.members[idx].Clf.PredictProbs(x)
 	return o
 }

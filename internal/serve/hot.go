@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+
+	"tdfm/internal/core"
+	"tdfm/internal/obs"
+	"tdfm/internal/tensor"
+)
+
+// ModelInfo identifies the registry artifact a Server was built from
+// (Options.Model): the version number and content digest reported by
+// /healthz, stamped on swap events, and used to tag the retiring
+// version's pool-stats snapshot. The zero value means "not
+// registry-backed" (a server trained in-process) and is omitted from
+// responses.
+type ModelInfo struct {
+	// Version is the registry version number (1-based; 0 when not
+	// registry-backed).
+	Version int
+	// Digest is the artifact's "sha256:<hex>" content digest.
+	Digest string
+}
+
+// Label renders the version as "v3", or "" for the zero ModelInfo.
+func (m ModelInfo) Label() string {
+	if m.Version <= 0 {
+		return ""
+	}
+	return "v" + itoa(m.Version)
+}
+
+// itoa is strconv.Itoa for small positive ints without the import churn
+// in callers that build labels on event paths.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Hot is the atomic hot-swap front over a Server: requests route to the
+// current model version, Swap installs a new version with zero dropped
+// requests. The swap ordering contract (DESIGN.md §11):
+//
+//  1. The new generation is installed under the write lock — requests
+//     arriving after the swap point route to the new Server.
+//  2. The swapper waits for every request pinned to the old generation
+//     (each holds a generation reference for its full duration, HTTP
+//     decode included).
+//  3. Only then is the old Server drained — so no in-flight request can
+//     observe ErrDraining — and its pool-stats snapshot emitted, tagged
+//     with the retiring version.
+//  4. The old members' activation arenas are released to the global
+//     buffer pool for the new generation to reuse, and the swap event is
+//     emitted. A swap event therefore guarantees the old version is
+//     fully retired.
+//
+// Requests never block on a swap: between steps 1 and 4 old and new
+// generations serve concurrently, each on its own breakers and
+// admission queue. Methods are safe for concurrent use; Swap calls are
+// serialized internally.
+type Hot struct {
+	mu     sync.RWMutex // guards gen; write-held only for the pointer swap
+	gen    *generation
+	swapMu sync.Mutex // serializes Swap/Drain retirement work
+}
+
+// generation pins one model version's Server and the requests in flight
+// against it.
+type generation struct {
+	srv *Server
+	wg  sync.WaitGroup
+}
+
+// NewHot wraps srv as the initial generation.
+func NewHot(srv *Server) *Hot {
+	return &Hot{gen: &generation{srv: srv}}
+}
+
+// acquire pins the current generation for one request. The returned
+// generation's wg must be released (Done) when the request finishes.
+func (h *Hot) acquire() *generation {
+	h.mu.RLock()
+	g := h.gen
+	g.wg.Add(1)
+	h.mu.RUnlock()
+	return g
+}
+
+// Server returns the currently serving generation's Server (for
+// inspection: options, breaker states, member names).
+func (h *Hot) Server() *Server {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.gen.srv
+}
+
+// Predict answers one request against the current generation. A request
+// admitted before a Swap completes against the generation it started
+// on; the swap waits for it.
+func (h *Hot) Predict(x *tensor.Tensor) (*Result, error) {
+	g := h.acquire()
+	defer g.wg.Done()
+	return g.srv.Predict(x)
+}
+
+// Swap atomically installs next as the serving generation, then retires
+// the old one: waits out its in-flight requests, drains it (emitting
+// the retiring version's pool-stats snapshot), releases its activation
+// arenas, and emits the swap event to next's sink. It returns when the
+// old version is fully retired.
+func (h *Hot) Swap(next *Server) {
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	h.mu.Lock()
+	old := h.gen
+	h.gen = &generation{srv: next}
+	h.mu.Unlock()
+
+	old.wg.Wait()
+	old.srv.Drain()
+	old.srv.ReleaseArenas()
+
+	oldM, newM := old.srv.opts.Model, next.opts.Model
+	next.emit(obs.Event{
+		Kind:   obs.KindSwap,
+		Key:    newM.Label(),
+		Detail: oldM.Label() + "→" + newM.Label() + " digest=" + newM.Digest,
+	})
+}
+
+// Drain retires the current generation for shutdown: stops admission,
+// waits out in-flight requests, and releases arenas. Requests arriving
+// afterwards fail with ErrDraining.
+func (h *Hot) Drain() {
+	h.swapMu.Lock()
+	defer h.swapMu.Unlock()
+	h.mu.RLock()
+	g := h.gen
+	h.mu.RUnlock()
+	g.wg.Wait()
+	g.srv.Drain()
+	g.srv.ReleaseArenas()
+}
+
+// Handler returns the hot-swapping HTTP API: the same routes as
+// Server.Handler, with every request pinned to the generation that was
+// current when it arrived. A Swap mid-request completes only after the
+// request does.
+func (h *Hot) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		g := h.acquire()
+		defer g.wg.Done()
+		g.srv.handlePredict(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		g := h.acquire()
+		defer g.wg.Done()
+		g.srv.handleHealth(w, r)
+	})
+	return mux
+}
+
+// ReleaseArenas returns every member's per-network activation arenas to
+// the global buffer pool. Callers retire a drained Server with it — the
+// buffers a retired model version held become immediately reusable by
+// its successor instead of waiting for the GC.
+func (s *Server) ReleaseArenas() {
+	for _, m := range s.members {
+		core.ReleaseArenas(m.Clf)
+	}
+}

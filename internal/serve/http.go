@@ -49,9 +49,25 @@ type ErrorResponse struct {
 type HealthResponse struct {
 	// Status is "ok" while serving and "draining" during shutdown.
 	Status string `json:"status"`
+	// Model identifies the served registry artifact; absent when the
+	// server was trained in-process rather than loaded from a registry.
+	Model *ModelHealthJSON `json:"model,omitempty"`
+	// Quorum is "k/n": members currently dispatchable (breaker not open)
+	// over the ensemble size.
+	Quorum string `json:"quorum"`
 	// Members maps nothing: breaker states are listed in member order so
 	// the output is deterministic (no map iteration).
 	Members []MemberHealthJSON `json:"members"`
+}
+
+// ModelHealthJSON is the served model's registry identity in /healthz.
+type ModelHealthJSON struct {
+	// Version is the registry version number.
+	Version int `json:"version"`
+	// Label is the display form ("v3").
+	Label string `json:"label"`
+	// Digest is the artifact's "sha256:<hex>" content digest.
+	Digest string `json:"digest"`
 }
 
 // MemberHealthJSON is one member's breaker state in /healthz.
@@ -128,16 +144,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealth reports drain status and per-member breaker states.
+// handleHealth reports drain status, the served model's registry
+// identity, the dispatchable quorum, and per-member breaker states.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok"}
 	if s.Draining() {
 		resp.Status = "draining"
 	}
+	if m := s.opts.Model; m.Version > 0 {
+		resp.Model = &ModelHealthJSON{Version: m.Version, Label: m.Label(), Digest: m.Digest}
+	}
 	states := s.BreakerStates()
+	dispatchable := 0
 	for i, m := range s.members {
+		if states[i] != BreakerOpen {
+			dispatchable++
+		}
 		resp.Members = append(resp.Members, MemberHealthJSON{Name: m.Name, Breaker: states[i].String()})
 	}
+	resp.Quorum = fmt.Sprintf("%d/%d", dispatchable, len(s.members))
 	status := http.StatusOK
 	if resp.Status != "ok" {
 		status = http.StatusServiceUnavailable

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"tdfm/internal/tensor"
+)
+
+// ProbsErrer is the error-aware prediction interface. Member dispatch
+// prefers it over core.Classifier's PredictProbs when a member
+// implements it: a remote member's transport failure becomes an
+// ordinary member error (StatusError, breaker-counted) instead of a
+// panic.
+type ProbsErrer interface {
+	// PredictProbsErr returns class probabilities [N, K] for the batch,
+	// or the failure that prevented a prediction.
+	PredictProbsErr(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// RemoteMember is an ensemble member served by a separate process (a
+// tdfmserve -member shard): predictions go over HTTP to the member's
+// /predict endpoint and the probability rows come back as JSON.
+// encoding/json renders float64 values with round-trip precision, so a
+// remote member's probabilities are bit-identical to the same model
+// served in-process — remote fan-out changes failure domains, never
+// votes.
+//
+// The member's address is mutable (SetAddr): the supervisor points the
+// member at the replacement process after a restart, without the parent
+// server rebuilding anything. A RemoteMember with no address yet (the
+// process never came up) fails predictions immediately — the breaker
+// path, not a hang.
+type RemoteMember struct {
+	name  string
+	input [3]int
+	addr  atomic.Value // string: base URL, "" until the process is up
+	// Client performs the member's HTTP requests; the per-member deadline
+	// at the dispatch layer bounds the vote, so the default client has no
+	// timeout of its own.
+	Client *http.Client
+}
+
+// NewRemoteMember builds a member for the process at base URL addr
+// (may be empty until the supervisor reports one). input is the
+// per-sample shape (channels, height, width) used to flatten batches.
+func NewRemoteMember(name, addr string, input [3]int) *RemoteMember {
+	m := &RemoteMember{name: name, input: input, Client: http.DefaultClient}
+	m.addr.Store(addr)
+	return m
+}
+
+// Name returns the member's name.
+func (m *RemoteMember) Name() string { return m.name }
+
+// Addr returns the member's current base URL ("" when the process has
+// never been up).
+func (m *RemoteMember) Addr() string { return m.addr.Load().(string) }
+
+// SetAddr repoints the member at a (re)started process. Safe to call
+// concurrently with predictions; in-flight requests finish against the
+// old address.
+func (m *RemoteMember) SetAddr(addr string) { m.addr.Store(addr) }
+
+// PredictProbsErr implements ProbsErrer: it posts the batch to the
+// member process's /predict endpoint and returns the probability rows.
+func (m *RemoteMember) PredictProbsErr(x *tensor.Tensor) (*tensor.Tensor, error) {
+	addr := m.Addr()
+	if addr == "" {
+		return nil, fmt.Errorf("serve: member %s has no process address", m.name)
+	}
+	n := x.Dim(0)
+	rowLen := m.input[0] * m.input[1] * m.input[2]
+	flat := x.Data()
+	if len(flat) != n*rowLen {
+		return nil, fmt.Errorf("serve: member %s: batch has %d values, want %d×%d", m.name, len(flat), n, rowLen)
+	}
+	req := PredictRequest{Instances: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		req.Instances[i] = flat[i*rowLen : (i+1)*rowLen]
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: member %s: encoding request: %w", m.name, err)
+	}
+	resp, err := m.Client.Post(addr+"/predict?probs=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: member %s: %w", m.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("serve: member %s: %s: %s", m.name, resp.Status, bytes.TrimSpace(msg))
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("serve: member %s: decoding reply: %w", m.name, err)
+	}
+	if len(pr.Probs) != n {
+		return nil, fmt.Errorf("serve: member %s: reply has %d probability rows, want %d", m.name, len(pr.Probs), n)
+	}
+	classes := len(pr.Probs[0])
+	out := make([]float64, 0, n*classes)
+	for i, row := range pr.Probs {
+		if len(row) != classes {
+			return nil, fmt.Errorf("serve: member %s: ragged probability row %d", m.name, i)
+		}
+		out = append(out, row...)
+	}
+	return tensor.FromSlice(out, n, classes), nil
+}
+
+// PredictProbs implements core.Classifier; a transport failure panics,
+// which member dispatch recovers. Prefer the ProbsErrer path (the
+// dispatcher uses it automatically).
+func (m *RemoteMember) PredictProbs(x *tensor.Tensor) *tensor.Tensor {
+	p, err := m.PredictProbsErr(x)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Predict implements core.Classifier.
+func (m *RemoteMember) Predict(x *tensor.Tensor) []int {
+	return m.PredictProbs(x).ArgMaxRows()
+}

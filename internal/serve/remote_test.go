@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"tdfm/internal/chaos"
+)
+
+// memberServer runs an in-process single-member shard over HTTP, the
+// way a tdfmserve -member process would.
+func memberServer(t *testing.T, row []float64) *httptest.Server {
+	t.Helper()
+	inner, err := New(Split(stubClf{row: row}, []string{"shard"}), len(row),
+		Options{Clock: chaos.NewFake(), MinQuorum: 1, Input: [3]int{1, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(inner.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRemoteMemberRoundTripsProbsExactly pins the shard protocol's
+// determinism claim: probabilities fetched over HTTP/JSON are
+// bit-identical to the local classifier's, including values with no
+// finite decimal expansion (JSON numbers are encoded round-trip-exact).
+func TestRemoteMemberRoundTripsProbsExactly(t *testing.T) {
+	row := []float64{1.0 / 3, 1.0 / 7, 1 - 1.0/3 - 1.0/7}
+	ts := memberServer(t, row)
+	rm := NewRemoteMember("shard", ts.URL, [3]int{1, 2, 2})
+
+	local := stubClf{row: row}.PredictProbs(batch()).Data()
+	remote, err := rm.PredictProbsErr(batch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := remote.Data()
+	if len(rd) != len(local) {
+		t.Fatalf("remote returned %d values, want %d", len(rd), len(local))
+	}
+	for i := range local {
+		if math.Float64bits(local[i]) != math.Float64bits(rd[i]) {
+			t.Fatalf("probs[%d]: remote %v != local %v (not bit-identical)", i, rd[i], local[i])
+		}
+	}
+}
+
+// TestRemoteMemberFailuresAreMemberErrors pins the dispatch
+// integration: a shard that is down (or never came up) fails the vote
+// as StatusError — breaker-counted, never a panic or a hang.
+func TestRemoteMemberFailuresAreMemberErrors(t *testing.T) {
+	ts := memberServer(t, []float64{0.25, 0.5, 0.25})
+	down := NewRemoteMember("down", "", [3]int{1, 2, 2}) // no process address
+	up := NewRemoteMember("up", ts.URL, [3]int{1, 2, 2})
+	s, err := New([]Member{{Name: "up", Clf: up}, {Name: "down", Clf: down}}, 3,
+		Options{Clock: chaos.NewFake(), MinQuorum: 1, Input: [3]int{1, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Predict(batch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quorum != 1 || res.Members != 2 {
+		t.Fatalf("quorum = %d/%d, want 1/2", res.Quorum, res.Members)
+	}
+	if res.Reports[0].Status != StatusOK || res.Reports[1].Status != StatusError {
+		t.Fatalf("reports = %+v, want up ok / down error", res.Reports)
+	}
+	if res.Pred[0] != 1 {
+		t.Fatalf("pred = %d, want 1", res.Pred[0])
+	}
+}
+
+// TestRemoteMemberRecoversAfterSetAddr pins the supervisor handoff: a
+// dead shard's member starts answering once repointed at a live
+// process.
+func TestRemoteMemberRecoversAfterSetAddr(t *testing.T) {
+	ts := memberServer(t, []float64{0.25, 0.5, 0.25})
+	rm := NewRemoteMember("shard", "", [3]int{1, 2, 2})
+	if _, err := rm.PredictProbsErr(batch()); err == nil {
+		t.Fatal("prediction with no address succeeded")
+	}
+	rm.SetAddr(ts.URL)
+	if _, err := rm.PredictProbsErr(batch()); err != nil {
+		t.Fatalf("prediction after SetAddr: %v", err)
+	}
+}

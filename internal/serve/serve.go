@@ -169,6 +169,11 @@ type Options struct {
 	// each member to its float32 twin at construction. New fails when a
 	// member cannot be converted or the value is unknown.
 	Precision Precision
+	// Model identifies the registry artifact the members came from:
+	// /healthz reports it, swap events stamp it, and the retiring
+	// version's pool-stats snapshot is tagged with its label. The zero
+	// value (a server trained in-process, not registry-backed) is fine.
+	Model ModelInfo
 	// Clock supplies deadlines and cooldowns; tests inject a
 	// chaos.FakeClock. Default chaos.Wall().
 	Clock chaos.Clock
@@ -394,10 +399,13 @@ func (s *Server) Drain() {
 		<-s.batch.done
 	}
 	if first {
-		// One shutdown-time snapshot of the buffer pool's reuse counters:
-		// operators read it to confirm pooling is paying off in production
-		// (see tdfmserve's shutdown log line).
-		s.emit(obs.Event{Kind: obs.KindPoolStats, Detail: tensor.Stats().String()})
+		// One drain-time snapshot of the buffer pool's reuse counters: at
+		// shutdown operators read it to confirm pooling is paying off, and
+		// on every hot-swap (Hot.Swap drains the retiring generation) the
+		// snapshot is tagged with the retiring model version so arena leaks
+		// across swaps are observable per version, not just at exit.
+		s.emit(obs.Event{Kind: obs.KindPoolStats, Key: s.opts.Model.Label(),
+			Detail: tensor.Stats().String()})
 	}
 }
 

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/obs"
+)
+
+// MemberProcess is one supervisable member shard: something that can be
+// started (yielding a serving address and an exit notification) and
+// stopped. The production implementation execs `tdfmserve -member`;
+// tests substitute in-process fakes.
+type MemberProcess interface {
+	// Start launches the process and returns its serving base URL plus a
+	// channel that receives exactly one value when the process exits
+	// (nil for a clean exit). Start is called again after each exit.
+	Start() (addr string, exit <-chan error, err error)
+	// Stop terminates the process if running. It must be safe to call
+	// when the process has already exited.
+	Stop()
+}
+
+// SupervisorOptions configures a member Supervisor. The zero value of
+// every field has a usable default.
+type SupervisorOptions struct {
+	// BackoffBase is the restart delay after the first failure; each
+	// consecutive failure doubles it. Default 500ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the restart delay. A member that stays up healthy
+	// for at least BackoffMax earns a reset: its next failure starts the
+	// backoff ladder over at BackoffBase. Default 30s.
+	BackoffMax time.Duration
+	// HealthInterval is the period between health probes of a running
+	// member. Default 5s.
+	HealthInterval time.Duration
+	// Health probes a running member at its base URL; a non-nil error
+	// restarts the member ("unhealthy"). Default: HTTP GET <addr>/healthz
+	// expecting 200.
+	Health func(addr string) error
+	// Clock paces health probes and restart backoff; tests inject a
+	// chaos.FakeClock so every timing path runs deterministically with
+	// zero wall-clock sleeps. Default chaos.Wall().
+	Clock chaos.Clock
+	// Sink receives member-restart events. Nil means no events.
+	Sink obs.Sink
+}
+
+// withDefaults resolves zero fields.
+func (o SupervisorOptions) withDefaults() SupervisorOptions {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 500 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 30 * time.Second
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 5 * time.Second
+	}
+	if o.Health == nil {
+		o.Health = httpHealth
+	}
+	if o.Clock == nil {
+		o.Clock = chaos.Wall()
+	}
+	return o
+}
+
+// httpHealth is the default health probe: GET <addr>/healthz must answer
+// 200.
+func httpHealth(addr string) error {
+	resp, err := http.Get(addr + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Supervisor keeps one member process running: it starts the process,
+// repoints the parent's RemoteMember at each new address, probes health
+// on an interval, and restarts on exit, failed start, or failed probe
+// with exponential backoff (BackoffBase doubling to BackoffMax; a
+// healthy run of at least BackoffMax resets the ladder).
+//
+// The supervisor deliberately does not touch vote routing: while its
+// member is down, the RemoteMember's predictions fail, the member's
+// circuit breaker opens, and the ensemble serves on a degraded quorum —
+// the same machinery that absorbs a hung in-process member. When the
+// restarted process passes its first prediction (the breaker's
+// half-open probe), the quorum heals on its own.
+type Supervisor struct {
+	name   string
+	proc   MemberProcess
+	member *RemoteMember
+	opts   SupervisorOptions
+}
+
+// NewSupervisor builds a supervisor for one member shard. member may be
+// nil when no RemoteMember address needs repointing (tests supervising
+// bare processes).
+func NewSupervisor(name string, proc MemberProcess, member *RemoteMember, opts SupervisorOptions) *Supervisor {
+	return &Supervisor{name: name, proc: proc, member: member, opts: opts.withDefaults()}
+}
+
+// Run supervises until stop is closed, then stops the process and
+// returns. It blocks; callers run it on its own goroutine.
+func (s *Supervisor) Run(stop <-chan struct{}) {
+	failures := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		addr, exit, err := s.proc.Start()
+		if err != nil {
+			failures++
+			d := s.backoff(failures)
+			s.emit(obs.Event{Kind: obs.KindMemberRestart, Member: s.name,
+				N: failures, Dur: d, Err: err, Detail: "start-failed"})
+			if !s.pause(d, stop) {
+				return
+			}
+			continue
+		}
+		startedAt := s.opts.Clock.Now()
+		if s.member != nil {
+			s.member.SetAddr(addr)
+		}
+		s.emit(obs.Event{Kind: obs.KindMemberRestart, Member: s.name,
+			N: failures, Detail: "restarted"})
+
+		phase, cause := s.watch(exit, addr, stop)
+		if phase == "" {
+			s.proc.Stop()
+			return
+		}
+		if phase == "unhealthy" {
+			// The process is alive but failing probes; kill it so the
+			// restart below starts from a clean slate. Its exit notification
+			// is abandoned with the old process.
+			s.proc.Stop()
+		}
+		if s.opts.Clock.Now().Sub(startedAt) >= s.opts.BackoffMax {
+			failures = 0 // a long healthy run earns a fresh ladder
+		}
+		failures++
+		d := s.backoff(failures)
+		s.emit(obs.Event{Kind: obs.KindMemberRestart, Member: s.name,
+			N: failures, Dur: d, Err: cause, Detail: phase})
+		if !s.pause(d, stop) {
+			return
+		}
+	}
+}
+
+// watch waits for the running process to exit or fail a health probe.
+// It returns ("", nil) when stop closed, else the failure phase
+// ("exited" or "unhealthy") and its cause.
+func (s *Supervisor) watch(exit <-chan error, addr string, stop <-chan struct{}) (string, error) {
+	for {
+		t := s.opts.Clock.NewTimer(s.opts.HealthInterval)
+		select {
+		case <-stop:
+			t.Stop()
+			return "", nil
+		case err := <-exit:
+			t.Stop()
+			if err == nil {
+				err = fmt.Errorf("member process exited")
+			}
+			return "exited", err
+		case <-t.C():
+			if err := s.opts.Health(addr); err != nil {
+				return "unhealthy", err
+			}
+		}
+	}
+}
+
+// backoff returns the restart delay for the nth consecutive failure:
+// BackoffBase doubling per failure, capped at BackoffMax.
+func (s *Supervisor) backoff(failures int) time.Duration {
+	d := s.opts.BackoffBase
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d >= s.opts.BackoffMax {
+			return s.opts.BackoffMax
+		}
+	}
+	if d > s.opts.BackoffMax {
+		return s.opts.BackoffMax
+	}
+	return d
+}
+
+// pause sleeps d on the injected clock; it returns false when stop
+// closed first.
+func (s *Supervisor) pause(d time.Duration, stop <-chan struct{}) bool {
+	t := s.opts.Clock.NewTimer(d)
+	select {
+	case <-stop:
+		t.Stop()
+		return false
+	case <-t.C():
+		return true
+	}
+}
+
+// emit forwards an event to the configured sink, if any.
+func (s *Supervisor) emit(e obs.Event) {
+	if s.opts.Sink != nil {
+		s.opts.Sink.Emit(e)
+	}
+}

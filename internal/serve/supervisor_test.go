@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/obs"
+)
+
+// fakeProc is a scripted MemberProcess: tests fail starts, kill the
+// running "process", and observe Stop calls.
+type fakeProc struct {
+	mu       sync.Mutex
+	starts   int
+	stops    int
+	failNext int // fail this many upcoming Start calls
+	exit     chan error
+	started  chan string // receives the addr of every successful start
+}
+
+func newFakeProc() *fakeProc {
+	return &fakeProc{started: make(chan string, 16)}
+}
+
+// Start implements MemberProcess.
+func (p *fakeProc) Start() (string, <-chan error, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.starts++
+	if p.failNext > 0 {
+		p.failNext--
+		return "", nil, errors.New("spawn failed")
+	}
+	p.exit = make(chan error, 1)
+	addr := fmt.Sprintf("http://member-%d", p.starts)
+	p.started <- addr
+	return addr, p.exit, nil
+}
+
+// Stop implements MemberProcess.
+func (p *fakeProc) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stops++
+}
+
+// kill makes the running process exit with err.
+func (p *fakeProc) kill(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.exit <- err
+}
+
+// restarts returns the member-restart events recorded so far, rendered
+// "phase N dur".
+func restarts(sink *memoSink) []string {
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	var out []string
+	for _, e := range sink.events {
+		if e.Kind == obs.KindMemberRestart {
+			out = append(out, fmt.Sprintf("%s %d %s", e.Detail, e.N, e.Dur))
+		}
+	}
+	return out
+}
+
+// waitEvents blocks until the sink has recorded at least n
+// member-restart events. Tests rendezvous on event counts before
+// touching the fake clock: once a failure's event is visible the watch
+// loop's health timer has been stopped, so the single pending waiter is
+// unambiguously the backoff (or next health) timer.
+func waitEvents(sink *memoSink, n int) {
+	for len(restarts(sink)) < n {
+		runtime.Gosched()
+	}
+}
+
+// supFixture builds a supervised fake process on a fake clock. Health
+// probes call health (default healthy) every second; backoff runs
+// 1s → 2s → 4s → capped 8s.
+func supFixture(t *testing.T, proc *fakeProc, health func(string) error) (*chaos.FakeClock, *memoSink, *RemoteMember, chan struct{}, chan struct{}) {
+	t.Helper()
+	if health == nil {
+		health = func(string) error { return nil }
+	}
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	member := NewRemoteMember("alpha", "", [3]int{1, 2, 2})
+	sup := NewSupervisor("alpha", proc, member, SupervisorOptions{
+		BackoffBase: time.Second, BackoffMax: 8 * time.Second,
+		HealthInterval: time.Second, Health: health, Clock: clk, Sink: sink,
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		sup.Run(stop)
+		close(done)
+	}()
+	t.Cleanup(func() {
+		select {
+		case <-done: // already exited
+		default:
+			close(stop)
+			<-done
+		}
+	})
+	return clk, sink, member, stop, done
+}
+
+// TestSupervisorRestartsAfterExitWithBackoff pins the core loop: a
+// crash is restarted after the backoff, the backoff doubles across
+// consecutive crashes, and the RemoteMember is repointed at each new
+// address.
+func TestSupervisorRestartsAfterExitWithBackoff(t *testing.T) {
+	proc := newFakeProc()
+	clk, sink, member, _, _ := supFixture(t, proc, nil)
+
+	addr1 := <-proc.started
+	waitEvents(sink, 1) // "restarted"
+	clk.BlockUntil(1)   // health timer armed ⇒ SetAddr already happened
+	if member.Addr() != addr1 {
+		t.Fatalf("member addr = %q, want %q", member.Addr(), addr1)
+	}
+
+	proc.kill(errors.New("segfault"))
+	waitEvents(sink, 2) // "exited" visible ⇒ health timer stopped
+	clk.BlockUntil(1)   // backoff timer (1s)
+	clk.Advance(time.Second)
+	addr2 := <-proc.started
+	waitEvents(sink, 3)
+	clk.BlockUntil(1)
+	if member.Addr() != addr2 {
+		t.Fatalf("member addr after restart = %q, want %q", member.Addr(), addr2)
+	}
+
+	// Second crash within the reset window: backoff doubles to 2s; 1s of
+	// fake time is not enough to restart.
+	proc.kill(errors.New("segfault"))
+	waitEvents(sink, 4)
+	clk.BlockUntil(1)
+	clk.Advance(time.Second)
+	select {
+	case addr := <-proc.started:
+		t.Fatalf("restarted at %s after 1s, want 2s backoff", addr)
+	default:
+	}
+	clk.Advance(time.Second)
+	<-proc.started
+	waitEvents(sink, 5)
+	clk.BlockUntil(1)
+
+	want := []string{
+		"restarted 0 0s",
+		"exited 1 1s",
+		"restarted 1 0s",
+		"exited 2 2s",
+		"restarted 2 0s",
+	}
+	if got := restarts(sink); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restart events = %v, want %v", got, want)
+	}
+}
+
+// TestSupervisorBackoffCapsAndResets pins the ladder bounds: repeated
+// failures cap at BackoffMax, and a healthy run of at least BackoffMax
+// resets the ladder to BackoffBase.
+func TestSupervisorBackoffCapsAndResets(t *testing.T) {
+	proc := newFakeProc()
+	clk, sink, _, _, _ := supFixture(t, proc, nil)
+
+	// Crash 5 times in a row: backoff 1s, 2s, 4s, 8s, 8s (capped).
+	<-proc.started
+	events := 1 // "restarted"
+	waitEvents(sink, events)
+	clk.BlockUntil(1)
+	delays := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second}
+	for _, d := range delays {
+		proc.kill(errors.New("crash"))
+		events++ // "exited"
+		waitEvents(sink, events)
+		clk.BlockUntil(1) // backoff timer
+		clk.Advance(d)
+		<-proc.started
+		events++ // "restarted"
+		waitEvents(sink, events)
+		clk.BlockUntil(1) // health timer of the new process
+	}
+
+	// Stay healthy for BackoffMax of fake time (health probes pass every
+	// second), then crash: the ladder restarts at 1s.
+	for i := 0; i < 8; i++ {
+		clk.Advance(time.Second)
+		clk.BlockUntil(1)
+	}
+	proc.kill(errors.New("late crash"))
+	events++
+	waitEvents(sink, events)
+	clk.BlockUntil(1)
+	clk.Advance(time.Second)
+	<-proc.started
+
+	got := restarts(sink)
+	last := got[len(got)-2]
+	if last != "exited 1 1s" {
+		t.Fatalf("post-reset failure event = %q, want \"exited 1 1s\" (all: %v)", last, got)
+	}
+}
+
+// TestSupervisorRestartsUnhealthyMember pins the probe path: a process
+// that is alive but failing health checks is stopped and restarted.
+func TestSupervisorRestartsUnhealthyMember(t *testing.T) {
+	proc := newFakeProc()
+	var (
+		mu   sync.Mutex
+		sick bool
+	)
+	health := func(string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if sick {
+			return errors.New("probe refused")
+		}
+		return nil
+	}
+	clk, sink, _, _, _ := supFixture(t, proc, health)
+
+	<-proc.started
+	waitEvents(sink, 1)
+	clk.BlockUntil(1)
+	clk.Advance(time.Second) // healthy probe passes
+	clk.BlockUntil(1)
+
+	mu.Lock()
+	sick = true
+	mu.Unlock()
+	clk.Advance(time.Second) // probe fails → stop + backoff
+	waitEvents(sink, 2)
+	clk.BlockUntil(1)
+	proc.mu.Lock()
+	stops := proc.stops
+	proc.mu.Unlock()
+	if stops != 1 {
+		t.Fatalf("stops = %d, want 1 (unhealthy process killed)", stops)
+	}
+	mu.Lock()
+	sick = false
+	mu.Unlock()
+	clk.Advance(time.Second)
+	<-proc.started
+
+	found := false
+	for _, e := range restarts(sink) {
+		if e == "unhealthy 1 1s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unhealthy restart event in %v", restarts(sink))
+	}
+}
+
+// TestSupervisorRetriesFailedStarts pins the start-failed path: spawn
+// failures back off and retry until one succeeds.
+func TestSupervisorRetriesFailedStarts(t *testing.T) {
+	proc := newFakeProc()
+	proc.failNext = 2
+	clk, sink, _, _, _ := supFixture(t, proc, nil)
+
+	waitEvents(sink, 1)
+	clk.BlockUntil(1) // backoff after first failed start
+	clk.Advance(time.Second)
+	waitEvents(sink, 2)
+	clk.BlockUntil(1) // backoff after second failed start (2s)
+	clk.Advance(2 * time.Second)
+	<-proc.started
+	waitEvents(sink, 3)
+	clk.BlockUntil(1)
+
+	want := []string{"start-failed 1 1s", "start-failed 2 2s", "restarted 2 0s"}
+	if got := restarts(sink); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+}
+
+// TestSupervisorStops pins shutdown: closing stop ends Run and stops the
+// running process.
+func TestSupervisorStops(t *testing.T) {
+	proc := newFakeProc()
+	clk, _, _, stop, done := supFixture(t, proc, nil)
+	<-proc.started
+	clk.BlockUntil(1)
+	close(stop)
+	<-done
+	proc.mu.Lock()
+	defer proc.mu.Unlock()
+	if proc.stops != 1 {
+		t.Fatalf("stops = %d, want 1", proc.stops)
+	}
+}

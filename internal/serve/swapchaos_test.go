@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/core"
+	"tdfm/internal/datagen"
+	"tdfm/internal/obs"
+	"tdfm/internal/registry"
+	"tdfm/internal/tensor"
+	"tdfm/internal/xrand"
+)
+
+// This file is the `make swap-chaos` acceptance suite: the registry →
+// hot-swap → supervision pipeline under load and injected failure, with
+// every timing path on a FakeClock — zero wall-clock sleeps.
+
+// publishedEnsemble publishes the same untrained two-member ensemble to
+// dir twice (v1 and v2 carry identical weights, so their votes must be
+// bit-identical) and returns a probe batch from the matching dataset.
+func publishedEnsemble(t *testing.T, dir string) (registry.Manifest, registry.Manifest, *tensor.Tensor) {
+	t.Helper()
+	cfg := datagen.Presets(datagen.ScaleTiny, 7)["gtsrblike"]
+	train, test, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := []string{"convnet", "deconvnet"}
+	members := make([]core.Classifier, len(archs))
+	for i, arch := range archs {
+		m, err := core.NewUntrained(core.Config{Arch: arch}, train, xrand.New(uint64(40+i)).Split("swap-chaos"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = m
+	}
+	clf := &core.VotingClassifier{Members: members, Classes: cfg.NumClasses}
+	m1, err := registry.Publish(dir, clf, registry.PublishOptions{Clock: chaos.NewFake()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := registry.Publish(dir, clf, registry.PublishOptions{Clock: chaos.NewFake()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m1, m2, test.X.SliceRows(0, 2)
+}
+
+// openRegistryServer builds a Server from a published registry version,
+// the way cmd/tdfmserve does in registry mode.
+func openRegistryServer(t *testing.T, dir string, version int, opts Options) *Server {
+	t.Helper()
+	clf, man, err := registry.Open(dir, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Input = man.Input
+	opts.Model = ModelInfo{Version: man.Version, Digest: man.Digest}
+	srv, err := New(Split(clf, man.Members), man.Classes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// probsBits renders a probability tensor as float64 bit patterns, so
+// equality means byte-identical votes.
+func probsBits(p *tensor.Tensor) []uint64 {
+	d := p.Data()
+	out := make([]uint64, len(d))
+	for i, v := range d {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+// TestSwapChaosHotSwapUnderLoad is the hot-swap acceptance criterion:
+// under sustained concurrent load, publishing a new version and
+// swapping to it drops or sheds zero requests, and because v1 and v2
+// are the same artifact, every vote before, during, and after the swap
+// is byte-identical.
+func TestSwapChaosHotSwapUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	_, m2, probe := publishedEnsemble(t, dir)
+
+	sink := &memoSink{}
+	opts := Options{Clock: chaos.NewFake(), QueueCapacity: 1024, Sink: sink}
+	hot := NewHot(openRegistryServer(t, dir, 1, opts))
+
+	base, err := hot.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := probsBits(base.Probs)
+	wantPred := append([]int(nil), base.Pred...)
+
+	var served, failed, wrong atomic.Int64
+	stopLoad := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				res, err := hot.Predict(probe)
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				bits := probsBits(res.Probs)
+				for i := range bits {
+					if bits[i] != want[i] || res.Pred[i%len(res.Pred)] != wantPred[i%len(wantPred)] {
+						wrong.Add(1)
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	// Let the load establish itself on v1, swap to v2 mid-flight, then
+	// demand another tranche of successful requests against v2.
+	for served.Load() < 50 {
+		runtime.Gosched()
+	}
+	hot.Swap(openRegistryServer(t, dir, 2, opts))
+	target := served.Load() + 50
+	for served.Load() < target && failed.Load() == 0 && wrong.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(stopLoad)
+	wg.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d requests dropped or shed across the swap", n)
+	}
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d requests voted differently across the swap of an identical artifact", n)
+	}
+	if got := hot.Server().Options().Model.Version; got != 2 {
+		t.Fatalf("serving version after swap = v%d, want v2", got)
+	}
+
+	// The retirement trail: v1's tagged pool-stats snapshot, then the
+	// swap event carrying the transition and incoming digest.
+	var sawStats, sawSwap bool
+	sink.mu.Lock()
+	for _, e := range sink.events {
+		if e.Kind == obs.KindPoolStats && e.Key == "v1" {
+			sawStats = true
+		}
+		if e.Kind == obs.KindSwap && e.Detail == "v1→v2 digest="+m2.Digest {
+			sawSwap = true
+		}
+	}
+	sink.mu.Unlock()
+	if !sawStats || !sawSwap {
+		t.Fatalf("retirement events missing: pool-stats[v1]=%v swap=%v", sawStats, sawSwap)
+	}
+	hot.Drain()
+}
+
+// shardProc is a live MemberProcess for acceptance tests: every Start
+// boots a real single-member HTTP shard in-process, and kill tears the
+// listener down the way a crashed process would.
+type shardProc struct {
+	t    *testing.T
+	mu   sync.Mutex
+	ts   *httptest.Server
+	exit chan error
+}
+
+func (p *shardProc) Start() (string, <-chan error, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inner, err := New(Split(stubClf{row: []float64{0.25, 0.5, 0.25}}, []string{"gamma"}), 3,
+		Options{Clock: chaos.NewFake(), MinQuorum: 1, Input: [3]int{1, 2, 2}})
+	if err != nil {
+		return "", nil, err
+	}
+	p.ts = httptest.NewServer(inner.Handler())
+	p.exit = make(chan error, 1)
+	return p.ts.URL, p.exit, nil
+}
+
+func (p *shardProc) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ts != nil {
+		p.ts.Close()
+		p.ts = nil
+	}
+}
+
+// kill simulates a member crash: the listener goes away and the exit
+// notification fires.
+func (p *shardProc) kill(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ts.Close()
+	p.ts = nil
+	p.exit <- err
+}
+
+// quorumOf reads the current health quorum string ("k/n") the way
+// /healthz reports it.
+func quorumOf(t *testing.T, srv *Server) string {
+	t.Helper()
+	var h HealthResponse
+	doJSON(t, srv.Handler(), "GET", "/healthz", "", &h)
+	return h.Quorum
+}
+
+// TestSwapChaosMemberCrashDegradesAndHeals is the supervision
+// acceptance criterion: killing a member shard degrades the quorum
+// (reported k/n, breaker tripped) while every request keeps succeeding,
+// the supervisor restarts the member on the fake clock, and after the
+// breaker's half-open probe the service is back to full quorum — no
+// request ever failed.
+func TestSwapChaosMemberCrashDegradesAndHeals(t *testing.T) {
+	clk := chaos.NewFake()
+	sink := &memoSink{}
+	proc := &shardProc{t: t}
+	rm := NewRemoteMember("gamma", "", [3]int{1, 2, 2})
+	srv, err := New([]Member{
+		{Name: "alpha", Clf: stubClf{row: []float64{0.25, 0.5, 0.25}}},
+		{Name: "bravo", Clf: stubClf{row: []float64{0.25, 0.5, 0.25}}},
+		{Name: "gamma", Clf: rm},
+	}, 3, Options{
+		Clock: clk, Sink: sink, MinQuorum: 2, Input: [3]int{1, 2, 2},
+		MemberDeadline: time.Hour, BreakerThreshold: 3, BreakerCooldown: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := NewSupervisor("gamma", proc, rm, SupervisorOptions{
+		BackoffBase: time.Second, BackoffMax: 8 * time.Second,
+		HealthInterval: time.Second, Clock: clk, Sink: sink,
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		sup.Run(stop)
+		close(done)
+	}()
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	// Full strength: the supervisor brought gamma up and repointed rm.
+	waitEvents(sink, 1)
+	clk.BlockUntil(1)
+	res, err := srv.Predict(batch())
+	if err != nil || res.Quorum != 3 {
+		t.Fatalf("healthy predict: quorum %d, err %v", res.Quorum, err)
+	}
+	if q := quorumOf(t, srv); q != "3/3" {
+		t.Fatalf("healthy quorum = %q, want 3/3", q)
+	}
+
+	// Crash gamma. Every subsequent request must still succeed on a
+	// degraded 2/3 quorum; the third failure trips gamma's breaker.
+	proc.kill(errors.New("killed by chaos"))
+	for i := 0; i < 3; i++ {
+		res, err := srv.Predict(batch())
+		if err != nil || res.Quorum != 2 {
+			t.Fatalf("degraded predict %d: quorum %d, err %v", i, res.Quorum, err)
+		}
+	}
+	if states := srv.BreakerStates(); states[2] != BreakerOpen {
+		t.Fatalf("gamma breaker = %v after %d failures, want open", states[2], 3)
+	}
+	if q := quorumOf(t, srv); q != "2/3" {
+		t.Fatalf("degraded quorum = %q, want 2/3", q)
+	}
+
+	// The supervisor notices the exit and restarts gamma after the 1s
+	// backoff — all on the fake clock.
+	waitEvents(sink, 2) // "exited" visible ⇒ health timer stopped
+	clk.BlockUntil(1)   // backoff timer
+	clk.Advance(time.Second)
+	waitEvents(sink, 3) // "restarted" ⇒ rm repointed at the new shard
+	clk.BlockUntil(1)   // the new process's health timer
+
+	// The breaker is still open until its cooldown elapses; requests
+	// keep succeeding at 2/3 in the meantime.
+	res, err = srv.Predict(batch())
+	if err != nil || res.Quorum != 2 {
+		t.Fatalf("cooldown predict: quorum %d, err %v", res.Quorum, err)
+	}
+	clk.Advance(10 * time.Second) // cooldown elapses (one health probe fires and passes)
+
+	// Half-open probe: the next request dispatches gamma, the restarted
+	// shard answers, the breaker closes, and the quorum is whole again.
+	res, err = srv.Predict(batch())
+	if err != nil || res.Quorum != 3 {
+		t.Fatalf("healed predict: quorum %d, err %v", res.Quorum, err)
+	}
+	if states := srv.BreakerStates(); states[2] != BreakerClosed {
+		t.Fatalf("gamma breaker = %v after successful probe, want closed", states[2])
+	}
+	if q := quorumOf(t, srv); q != "3/3" {
+		t.Fatalf("healed quorum = %q, want 3/3", q)
+	}
+	if got := restarts(sink); len(got) < 3 || got[1] != "exited 1 1s" {
+		t.Fatalf("supervisor events = %v, want exited 1 1s then restarted", got)
+	}
+}
