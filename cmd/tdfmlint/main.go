@@ -1,18 +1,23 @@
 // Command tdfmlint is the repo's go vet-style determinism and
 // correctness gate: it runs the internal/lint pass suite —
-// nodeterminism, maporder, errwrap, paniccontract, docs — over the
-// given package directories and exits nonzero on any finding. The
-// quality gate runs it as `make lint` (and through `make test`) over
-// ./internal/... ./cmd/... and the root package.
+// nodeterminism, maporder, errwrap, paniccontract, docs, plus the
+// dataflow passes poolown and lockdiscipline — over the given package
+// directories and exits nonzero on any finding. The quality gate runs
+// it as `make lint` (and through `make test`) over ./internal/...
+// ./cmd/... and the root package.
 //
 // Usage:
 //
-//	tdfmlint [-list] <pattern> [<pattern> ...]
+//	tdfmlint [-list] [-json] <pattern> [<pattern> ...]
 //
 // A pattern is a package directory ("."), or a tree pattern ending in
 // /... which expands to every package directory beneath it (testdata,
 // hidden, and underscore-prefixed directories are skipped, as the go
-// tool does). -list prints the pass catalog and exits.
+// tool does). -list prints the pass catalog and exits. -json emits one
+// JSON object per finding (machine-readable, for editors and CI
+// annotation) including the findings existing //tdfm:allow directives
+// suppressed, marked with the directive's justification; only active
+// findings affect the exit code.
 //
 // Findings can be suppressed case by case with a trailing or
 // immediately preceding comment of the form
@@ -25,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("tdfmlint", flag.ContinueOnError)
 	fl.SetOutput(stderr)
 	list := fl.Bool("list", false, "print the pass catalog and exit")
+	jsonOut := fl.Bool("json", false, "emit findings as JSON lines (includes suppressed findings; exit code still counts only active ones)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -58,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if fl.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: tdfmlint [-list] <dir|dir/...> [...]")
+		fmt.Fprintln(stderr, "usage: tdfmlint [-list] [-json] <dir|dir/...> [...]")
 		return 2
 	}
 	dirs, err := expandPatterns(fl.Args())
@@ -68,7 +75,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	loader := lint.NewLoader()
 	var pkgs []*lint.Package
-	var findings []lint.Finding
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -93,15 +99,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	findings = append(findings, lint.Run(pkgs, lint.AllPasses())...)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	active, suppressed := lint.RunAll(pkgs, lint.AllPasses())
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range active {
+			if err := enc.Encode(jsonFinding(f)); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+		for _, f := range suppressed {
+			if err := enc.Encode(jsonFinding(f)); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range active {
+			fmt.Fprintln(stdout, f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "tdfmlint: %d finding(s)\n", len(findings))
+	if len(active) > 0 {
+		fmt.Fprintf(stderr, "tdfmlint: %d finding(s)\n", len(active))
 		return 1
 	}
 	return 0
+}
+
+// finding is the -json wire form: one object per output line, stable
+// field names for editors and the CI problem matcher.
+type finding struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// SuppressedBy carries the //tdfm:allow justification when the
+	// finding was silenced; absent on active findings.
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+}
+
+// jsonFinding converts a lint.Finding to its wire form.
+func jsonFinding(f lint.Finding) finding {
+	return finding{
+		Pass:         f.Pass,
+		File:         f.Pos.Filename,
+		Line:         f.Pos.Line,
+		Col:          f.Pos.Column,
+		Message:      f.Message,
+		SuppressedBy: f.SuppressedBy,
+	}
 }
 
 // expandPatterns resolves directory and /... tree patterns into a

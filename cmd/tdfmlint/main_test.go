@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -69,5 +70,63 @@ func TestRunUsage(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(nil, &out, &errOut); code != 2 {
 		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestRunJSON checks the -json wire format: one object per line,
+// active findings with position fields, suppressed findings carrying
+// the directive's justification, and the exit code counting only
+// active findings.
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "../../internal/lint/testdata/src/poolown"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON output")
+	}
+	sawPoolown := false
+	for _, line := range lines {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Pass == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %q", line)
+		}
+		if f.Pass == "poolown" {
+			sawPoolown = true
+		}
+	}
+	if !sawPoolown {
+		t.Errorf("no poolown finding in JSON output:\n%s", out.String())
+	}
+}
+
+// TestRunJSONSuppressed pins that suppressed findings appear in -json
+// output with their justification, and do not affect the exit code.
+func TestRunJSONSuppressed(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "../../internal/opt"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 — suppressed findings must not gate (stderr: %s)", code, errOut.String())
+	}
+	sawSuppressed := false
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if f.SuppressedBy != "" {
+			sawSuppressed = true
+		}
+	}
+	if !sawSuppressed {
+		t.Errorf("expected at least one suppressed finding with its justification:\n%s", out.String())
 	}
 }

@@ -1,0 +1,497 @@
+package lint
+
+// Control-flow graphs over go/ast function bodies (DESIGN.md §12).
+//
+// This file is the foundation of the dataflow-aware passes (poolown,
+// lockdiscipline): BuildCFG lowers one function body into basic blocks
+// connected by control edges, and dataflow.go runs a forward abstract
+// interpretation over the result. The engine is deliberately
+// intraprocedural and stdlib-only — it is the extension point for any
+// future pass that needs path sensitivity (and, later, for
+// interprocedural summaries layered on top of per-function CFGs).
+//
+// Shape of the graph:
+//
+//   - Every CFG has a synthetic Entry, Exit, and Panic block. Entry
+//     leads to the first statement block; every return statement (and a
+//     body that falls off its end) edges to Exit; calls to panic and
+//     os.Exit edge to Panic. Passes that enforce "on all exit paths"
+//     obligations check the predecessors of Exit and, by policy, ignore
+//     Panic (a panicking path unwinds through deferred calls and the
+//     process is usually gone — demanding releases there is noise).
+//   - Block.Nodes holds the statements and control expressions of the
+//     block in evaluation order. Control statements contribute their
+//     scrutinee (an if condition, a switch tag, a range operand) to the
+//     block that evaluates it; their bodies become successor blocks.
+//   - defer statements appear as ordinary DeferStmt nodes in the block
+//     that registers them. Deferred work is a runtime fact, not a
+//     control edge: a pass models it by recording "release/unlock is
+//     registered" in its abstract state, which makes conditional defers
+//     (defer inside an if) come out path-sensitive for free.
+//   - for/range loops produce a head block with a back edge from the
+//     body, so loop-carried state reaches a fixpoint in the driver.
+//     break/continue (labeled included) and goto resolve to real edges;
+//     fallthrough edges into the next case body.
+//   - select lowers to one node for the SelectStmt itself (the blocking
+//     point) in the current block plus one successor block per comm
+//     clause; the comm statements are recorded in SelectComms so passes
+//     can tell a nonblocking send inside a select-with-default from a
+//     bare channel operation.
+//
+// Function literals are values, not control flow: BuildCFG does not
+// descend into a FuncLit body. Passes analyze each literal as its own
+// function (funcBodies collects them all).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: a maximal straight-line node sequence with
+// control edges to its successors.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, creation
+	// order; Entry is 0).
+	Index int
+	// Nodes are the statements and control expressions evaluated in this
+	// block, in order.
+	Nodes []ast.Node
+	// Succs are the control-flow successors.
+	Succs []*Block
+	// Preds are the control-flow predecessors (derived from Succs).
+	Preds []*Block
+}
+
+// addSucc links b → s once (duplicate edges carry no extra information
+// for a dataflow join).
+func (b *Block) addSucc(s *Block) {
+	for _, e := range b.Succs {
+		if e == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every block in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is the synthetic entry block (no nodes of its own).
+	Entry *Block
+	// Exit is the synthetic normal-exit block: every return edges here,
+	// as does a body that falls off its end.
+	Exit *Block
+	// Panic is the synthetic panicking-exit block: calls to panic and
+	// os.Exit edge here. Passes decide whether obligations apply on
+	// panicking paths (the shipped ones say no).
+	Panic *Block
+	// SelectComms marks the comm statements of select cases: channel
+	// operations that block (or not, with a default clause) inside the
+	// select machinery rather than as bare statements.
+	SelectComms map[ast.Stmt]bool
+}
+
+// Reachable reports which blocks are reachable from Entry, indexed by
+// Block.Index.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// cfgBuilder carries the construction state of one BuildCFG call.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminating
+	// statement (return, panic, break…) until the next statement opens a
+	// fresh — then unreachable — block.
+	cur *Block
+	// loops is the stack of enclosing breakable/continuable constructs.
+	loops []loopFrame
+	// labels maps label names to their resolution state (target blocks
+	// for goto and labeled break/continue).
+	labels map[string]*labelFrame
+	// info resolves panic/os.Exit callees; may be an empty Info.
+	info *infoView
+}
+
+// loopFrame records where break and continue jump for one enclosing
+// construct. continueTo is nil for switch/select (continue skips them).
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+// labelFrame is one declared (or forward-referenced) label.
+type labelFrame struct {
+	// block is the labeled statement's block; goto L edges here.
+	block *Block
+}
+
+// infoView is the slice of type information the builder needs; split
+// out so tests can build CFGs from bare parsed files.
+type infoView struct {
+	pkg *Package
+}
+
+// BuildCFG lowers a function body into a control-flow graph. body must
+// not be nil; pkg supplies type information for terminator detection
+// (panic vs a local function named panic) and may carry an empty Info.
+func BuildCFG(pkg *Package, body *ast.BlockStmt) *CFG {
+	cfg := &CFG{SelectComms: make(map[ast.Stmt]bool)}
+	b := &cfgBuilder{cfg: cfg, labels: make(map[string]*labelFrame), info: &infoView{pkg: pkg}}
+	cfg.Entry = b.newBlock()
+	cfg.Exit = b.newBlock()
+	cfg.Panic = b.newBlock()
+	first := b.newBlock()
+	cfg.Entry.addSucc(first)
+	b.cur = first
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.addSucc(cfg.Exit)
+	}
+	return cfg
+}
+
+// newBlock appends a fresh block to the graph.
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startBlock returns cur, opening a fresh (unreachable until linked)
+// block when the previous statement terminated control flow.
+func (b *cfgBuilder) startBlock() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.startBlock()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// stmtList lowers a statement sequence.
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the non-empty label name when the
+// statement is the body of a LabeledStmt (so labeled break/continue on
+// loops and switches resolve).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+
+	case *ast.LabeledStmt:
+		lf := b.labelFrame(x.Label.Name)
+		b.startBlock().addSucc(lf.block)
+		b.cur = lf.block
+		b.stmt(x.Stmt, x.Label.Name)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		cond.addSucc(then)
+		b.cur = then
+		b.stmtList(x.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(after)
+		}
+		if x.Else != nil {
+			els := b.newBlock()
+			cond.addSucc(els)
+			b.cur = els
+			b.stmt(x.Else, "")
+			if b.cur != nil {
+				b.cur.addSucc(after)
+			}
+		} else {
+			cond.addSucc(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		head := b.newBlock()
+		b.startBlock().addSucc(head)
+		if x.Cond != nil {
+			head.Nodes = append(head.Nodes, x.Cond)
+		}
+		after := b.newBlock()
+		post := head
+		if x.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, x.Post)
+			post.addSucc(head)
+		}
+		if x.Cond != nil {
+			head.addSucc(after)
+		}
+		body := b.newBlock()
+		head.addSucc(body)
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmtList(x.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(post)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(x.X)
+		head := b.newBlock()
+		b.startBlock().addSucc(head)
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// binding (and, for a channel operand, the blocking receive).
+		head.Nodes = append(head.Nodes, x)
+		after := b.newBlock()
+		head.addSucc(after)
+		body := b.newBlock()
+		head.addSucc(body)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmtList(x.Body.List)
+		if b.cur != nil {
+			b.cur.addSucc(head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		if x.Tag != nil {
+			b.add(x.Tag)
+		}
+		b.switchClauses(x.Body.List, label, func(cc *ast.CaseClause) []ast.Stmt {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			return cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Assign)
+		b.switchClauses(x.Body.List, label, func(cc *ast.CaseClause) []ast.Stmt {
+			return cc.Body
+		})
+
+	case *ast.SelectStmt:
+		b.add(x)
+		head := b.cur
+		after := b.newBlock()
+		for _, cl := range x.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			head.addSucc(blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.cfg.SelectComms[cc.Comm] = true
+				b.add(cc.Comm)
+			}
+			b.pushLoop(label, after, nil)
+			b.stmtList(cc.Body)
+			b.popLoop()
+			if b.cur != nil {
+				b.cur.addSucc(after)
+			}
+		}
+		if len(x.Body.List) == 0 {
+			// An empty select blocks forever: no successors.
+			b.cur = nil
+			return
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.cur.addSucc(b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(x)
+		switch x.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(x, false); t != nil {
+				b.cur.addSucc(t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(x, true); t != nil {
+				b.cur.addSucc(t)
+			}
+		case token.GOTO:
+			b.cur.addSucc(b.labelFrame(x.Label.Name).block)
+		case token.FALLTHROUGH:
+			// Resolved by switchClauses (the edge to the next case body);
+			// nothing to do here.
+			return
+		}
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(x)
+		if isTerminatingCall(b.info.pkg, x.X) {
+			b.cur.addSucc(b.cfg.Panic)
+			b.cur = nil
+		}
+
+	case nil:
+		// Nothing: a missing init/post slot.
+
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go, empty
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchClauses lowers the shared (expr and type) switch shape: the
+// current block fans out to one body block per case, every body joins
+// after the switch, fallthrough edges into the next body, and a missing
+// default adds a head→after edge.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, open func(*ast.CaseClause) []ast.Stmt) {
+	head := b.startBlock()
+	after := b.newBlock()
+	hasDefault := false
+	// Body blocks are pre-created so fallthrough can edge forward.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		head.addSucc(bodies[i])
+		body := open(cc)
+		b.pushLoop(label, after, nil)
+		b.stmtList(body)
+		b.popLoop()
+		if b.cur != nil {
+			if fallsThrough(body) && i+1 < len(clauses) {
+				b.cur.addSucc(bodies[i+1])
+			} else {
+				b.cur.addSucc(after)
+			}
+		}
+	}
+	if !hasDefault {
+		head.addSucc(after)
+	}
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// pushLoop/popLoop maintain the break/continue resolution stack.
+func (b *cfgBuilder) pushLoop(label string, breakTo, continueTo *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: breakTo, continueTo: continueTo})
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// branchTarget resolves a break or continue to its jump target.
+func (b *cfgBuilder) branchTarget(x *ast.BranchStmt, isContinue bool) *Block {
+	want := ""
+	if x.Label != nil {
+		want = x.Label.Name
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		fr := b.loops[i]
+		if isContinue && fr.continueTo == nil {
+			continue // switch/select frames are transparent to continue
+		}
+		if want != "" && fr.label != want {
+			continue
+		}
+		if isContinue {
+			return fr.continueTo
+		}
+		return fr.breakTo
+	}
+	return nil // malformed source; the type checker reports it
+}
+
+// labelFrame returns (creating on first reference) the frame for a
+// label, so forward gotos resolve to the same block the LabeledStmt
+// later opens.
+func (b *cfgBuilder) labelFrame(name string) *labelFrame {
+	if lf, ok := b.labels[name]; ok {
+		return lf
+	}
+	lf := &labelFrame{block: b.newBlock()}
+	b.labels[name] = lf
+	return lf
+}
+
+// isTerminatingCall reports whether an expression statement never
+// returns: the panic builtin or os.Exit.
+func isTerminatingCall(pkg *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		// With type info, make sure it is the builtin, not a shadowing
+		// local; without, assume the builtin.
+		if obj, ok := pkg.Info.Uses[fun]; ok {
+			_, isBuiltin := obj.(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok || fun.Sel.Name != "Exit" || id.Name != "os" {
+			return false
+		}
+		return isPackageRef(pkg, id)
+	}
+	return false
+}

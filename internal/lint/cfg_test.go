@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses `func f(...) { body }` with no type information (the
+// builder must degrade gracefully) and lowers it.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f(c bool, n int, xs []int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	pkg := &Package{Fset: fset, Info: emptyInfo()}
+	return BuildCFG(pkg, fn.Body)
+}
+
+// blockCalling finds the unique block containing a call to the named
+// function.
+func blockCalling(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			// Shallow, like the passes: a RangeStmt or SelectStmt head
+			// node carries its body in the AST, but those statements
+			// execute in successor blocks.
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					if found != nil && found != b {
+						t.Fatalf("call to %s appears in blocks %d and %d", name, found.Index, b.Index)
+					}
+					found = b
+				}
+				return true
+			})
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block calls %s", name)
+	}
+	return found
+}
+
+// hasEdge reports a direct from → to edge.
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	cfg := buildCFG(t, `
+	if c {
+		a()
+	} else {
+		b()
+	}
+	d()`)
+	cond := cfg.Entry.Succs[0]
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (then, else)", len(cond.Succs))
+	}
+	join := blockCalling(t, cfg, "d")
+	for _, arm := range []string{"a", "b"} {
+		if b := blockCalling(t, cfg, arm); !hasEdge(b, join) {
+			t.Errorf("branch calling %s does not join at the block calling d", arm)
+		}
+	}
+	if !hasEdge(join, cfg.Exit) {
+		t.Error("join block does not reach Exit")
+	}
+	if got := len(cfg.Exit.Preds); got != 1 {
+		t.Errorf("Exit has %d predecessors, want 1 (only the join)", got)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	cfg := buildCFG(t, `
+	if c {
+		a()
+	}
+	d()`)
+	cond := cfg.Entry.Succs[0]
+	join := blockCalling(t, cfg, "d")
+	if !hasEdge(cond, join) {
+		t.Error("missing fall-through edge from the condition to the block after the if")
+	}
+	if !hasEdge(blockCalling(t, cfg, "a"), join) {
+		t.Error("then-branch does not join after the if")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	cfg := buildCFG(t, `
+	if c {
+		return
+	}
+	d()`)
+	if got := len(cfg.Exit.Preds); got != 2 {
+		t.Fatalf("Exit has %d predecessors, want 2 (early return and fall-off)", got)
+	}
+	reached := cfg.Reachable()
+	if !reached[blockCalling(t, cfg, "d").Index] {
+		t.Error("code after a conditional return must stay reachable")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	cfg := buildCFG(t, `
+	for i := 0; i < n; i++ {
+		a()
+	}
+	d()`)
+	body := blockCalling(t, cfg, "a")
+	after := blockCalling(t, cfg, "d")
+	// body → post → head → body must form a cycle.
+	if len(body.Succs) != 1 {
+		t.Fatalf("loop body has %d successors, want 1 (the post block)", len(body.Succs))
+	}
+	post := body.Succs[0]
+	if len(post.Succs) != 1 {
+		t.Fatalf("post block has %d successors, want 1 (the head)", len(post.Succs))
+	}
+	head := post.Succs[0]
+	if !hasEdge(head, body) {
+		t.Error("loop head does not re-enter the body (missing back edge)")
+	}
+	if !hasEdge(head, after) {
+		t.Error("loop head does not exit to the block after the loop")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	cfg := buildCFG(t, `
+	for _, v := range xs {
+		a(v)
+	}
+	d()`)
+	body := blockCalling(t, cfg, "a")
+	if len(body.Succs) != 1 {
+		t.Fatalf("range body has %d successors, want 1 (the head)", len(body.Succs))
+	}
+	head := body.Succs[0]
+	isRangeNode := false
+	for _, n := range head.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			isRangeNode = true
+		}
+	}
+	if !isRangeNode {
+		t.Error("loop head does not carry the RangeStmt node (per-iteration binding)")
+	}
+	if !hasEdge(head, blockCalling(t, cfg, "d")) {
+		t.Error("range head does not exit to the block after the loop")
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	cfg := buildCFG(t, `
+	for _, v := range xs {
+		defer a(v)
+	}
+	d()`)
+	var deferBlock *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferBlock = b
+			}
+		}
+	}
+	if deferBlock == nil {
+		t.Fatal("DeferStmt does not appear as a CFG node")
+	}
+	// The defer registers once per iteration: its block must sit on the
+	// loop cycle, i.e. lead back to the range head.
+	head := deferBlock.Succs[0]
+	if !hasEdge(head, deferBlock) {
+		t.Error("defer-in-loop block is not on the loop cycle (missing back edge)")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	cfg := buildCFG(t, `
+	for i := 0; i < n; i++ {
+		if c {
+			continue
+		}
+		if n > 1 {
+			break
+		}
+		a()
+	}
+	d()`)
+	after := blockCalling(t, cfg, "d")
+	reached := cfg.Reachable()
+	if !reached[after.Index] || !reached[blockCalling(t, cfg, "a").Index] {
+		t.Error("loop tail and after-loop block must both be reachable")
+	}
+	// Find the break and continue blocks and check their targets.
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok {
+				continue
+			}
+			switch br.Tok {
+			case token.BREAK:
+				if !hasEdge(b, after) {
+					t.Error("break does not edge to the block after the loop")
+				}
+			case token.CONTINUE:
+				if hasEdge(b, after) {
+					t.Error("continue must not edge to the block after the loop")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	cfg := buildCFG(t, `
+	if c {
+		panic("boom")
+	}
+	d()`)
+	if got := len(cfg.Panic.Preds); got != 1 {
+		t.Fatalf("Panic has %d predecessors, want 1", got)
+	}
+	if got := len(cfg.Exit.Preds); got != 1 {
+		t.Fatalf("Exit has %d predecessors, want 1 (the panic path must not reach Exit)", got)
+	}
+	if !cfg.Reachable()[blockCalling(t, cfg, "d").Index] {
+		t.Error("code after a conditional panic must stay reachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfg := buildCFG(t, `
+	a()
+L:
+	b()
+	if c {
+		goto L
+	}
+	d()`)
+	label := blockCalling(t, cfg, "b")
+	var gotoBlock *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+				gotoBlock = blk
+			}
+		}
+	}
+	if gotoBlock == nil {
+		t.Fatal("goto does not appear as a CFG node")
+	}
+	if !hasEdge(gotoBlock, label) {
+		t.Error("goto does not edge to its label's block")
+	}
+	if !hasEdge(blockCalling(t, cfg, "a"), label) {
+		t.Error("fall-through into the labeled statement is missing")
+	}
+	if !cfg.Reachable()[blockCalling(t, cfg, "d").Index] {
+		t.Error("code after the conditional goto must stay reachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildCFG(t, `
+	switch n {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	}
+	d()`)
+	if !hasEdge(blockCalling(t, cfg, "a"), blockCalling(t, cfg, "b")) {
+		t.Error("fallthrough does not edge into the next case body")
+	}
+	after := blockCalling(t, cfg, "d")
+	if !hasEdge(blockCalling(t, cfg, "b"), after) {
+		t.Error("final case does not join after the switch")
+	}
+	// No default: the head must be able to skip every case.
+	head := cfg.Entry.Succs[0]
+	if !hasEdge(head, after) {
+		t.Error("switch without default is missing the head → after edge")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildCFG(t, `
+	select {
+	case <-ch:
+		a()
+	default:
+		b()
+	}
+	d()`)
+	if len(cfg.SelectComms) != 1 {
+		t.Fatalf("SelectComms has %d entries, want 1 (the receive comm)", len(cfg.SelectComms))
+	}
+	var head *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("SelectStmt does not appear as a CFG node")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("select head has %d successors, want 2 (one per clause)", len(head.Succs))
+	}
+	after := blockCalling(t, cfg, "d")
+	for _, arm := range []string{"a", "b"} {
+		if !hasEdge(blockCalling(t, cfg, arm), after) {
+			t.Errorf("select clause calling %s does not join after the select", arm)
+		}
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	cfg := buildCFG(t, `
+	a()
+	return
+	d()`) //nolint:govet // unreachable on purpose
+	reached := cfg.Reachable()
+	if !reached[blockCalling(t, cfg, "a").Index] {
+		t.Error("pre-return block must be reachable")
+	}
+	if reached[blockCalling(t, cfg, "d").Index] {
+		t.Error("code after an unconditional return must be unreachable")
+	}
+}

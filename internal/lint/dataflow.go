@@ -1,0 +1,104 @@
+package lint
+
+// The forward abstract-interpretation driver over a CFG (DESIGN.md
+// §12). A pass supplies a small lattice — an abstract state type, a
+// per-node transfer function, and a join — and the driver computes the
+// fixpoint of block-entry states with a worklist. Passes then replay
+// the transfer function through each reachable block (simulate) to make
+// per-node observations with the exact state in force at that node.
+//
+// The driver is generic so each pass keeps its own concrete state type;
+// states must behave as values (transfer returns a new state rather
+// than mutating its input) or the worklist's convergence check breaks.
+
+import "go/ast"
+
+// flowLattice packages a pass's abstract domain for the driver.
+type flowLattice[S any] struct {
+	// entry is the state on function entry.
+	entry S
+	// transfer applies one node's effect, returning the post-state. It
+	// must not mutate the input state.
+	transfer func(S, ast.Node) S
+	// join merges the states of two incoming edges at a block head.
+	join func(S, S) S
+	// equal detects convergence.
+	equal func(S, S) bool
+}
+
+// forward computes the entry state of every block as the least fixpoint
+// of the lattice over the CFG, keyed by Block.Index. Unreachable blocks
+// keep the zero S and are reported false in the second result.
+func forward[S any](cfg *CFG, lat flowLattice[S]) (in []S, reached []bool) {
+	n := len(cfg.Blocks)
+	in = make([]S, n)
+	reached = make([]bool, n)
+	in[cfg.Entry.Index] = lat.entry
+	reached[cfg.Entry.Index] = true
+
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, n)
+	queued[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := blockOut(lat, in[b.Index], b)
+		for _, s := range b.Succs {
+			next := out
+			if reached[s.Index] {
+				next = lat.join(in[s.Index], out)
+				if lat.equal(next, in[s.Index]) {
+					continue
+				}
+			}
+			in[s.Index] = next
+			reached[s.Index] = true
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, reached
+}
+
+// blockOut pushes a state through every node of a block.
+func blockOut[S any](lat flowLattice[S], s S, b *Block) S {
+	for _, n := range b.Nodes {
+		s = lat.transfer(s, n)
+	}
+	return s
+}
+
+// simulate replays the fixpoint through each reachable block, invoking
+// visit with the state in force immediately before each node. Passes
+// use it to anchor findings: the fixpoint says what may hold, simulate
+// says where.
+func simulate[S any](cfg *CFG, lat flowLattice[S], in []S, reached []bool, visit func(S, ast.Node) S) {
+	for _, b := range cfg.Blocks {
+		if !reached[b.Index] {
+			continue
+		}
+		s := in[b.Index]
+		for _, n := range b.Nodes {
+			s = visit(s, n)
+		}
+	}
+}
+
+// exitStates returns the state flowing into Exit along each normal
+// (non-panic) path: one state per Exit predecessor, after that block's
+// nodes have been applied. Passes check end-of-function obligations
+// against each of these, so a violation on one path is found even when
+// another path is clean.
+func exitStates[S any](cfg *CFG, lat flowLattice[S], in []S, reached []bool) []S {
+	var out []S
+	for _, p := range cfg.Exit.Preds {
+		if !reached[p.Index] {
+			continue
+		}
+		out = append(out, blockOut(lat, in[p.Index], p))
+	}
+	return out
+}

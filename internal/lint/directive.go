@@ -28,6 +28,9 @@ type directive struct {
 	// (so directives for different passes stack).
 	target int
 	used   bool
+	// dup marks a directive already reported as a duplicate, so the
+	// stale check does not pile a second finding onto it.
+	dup bool
 }
 
 // collectDirectives parses every //tdfm:allow comment in the package.
@@ -93,14 +96,31 @@ func collectDirectives(pkg *Package, known map[string]bool) ([]*directive, []Fin
 			}
 			d.target = t
 		}
+		// Two directives for the same pass covering the same line: the
+		// second can never suppress anything the first did not, so it is
+		// dead weight even when its pass is not part of this run (the
+		// stale-directive check in Run only sees passes that ran).
+		covered := make(map[string]int) // pass+target line → directive line
+		for _, d := range fileDirs {
+			key := fmt.Sprintf("%s@%d", d.Pass, d.target)
+			if first, dup := covered[key]; dup {
+				d.dup = true
+				bad = append(bad, Finding{
+					Pass: DirectivePass, Pos: d.Pos,
+					Message: fmt.Sprintf("duplicate //tdfm:allow %s: the directive on line %d already covers this line", d.Pass, first),
+				})
+				continue
+			}
+			covered[key] = d.Pos.Line
+		}
 		dirs = append(dirs, fileDirs...)
 	}
 	return dirs, bad
 }
 
-// suppress reports whether a directive covers the finding, marking the
-// first matching directive used.
-func suppress(dirs []*directive, f Finding) bool {
+// suppressedBy returns the first directive covering the finding
+// (marking it used), or nil.
+func suppressedBy(dirs []*directive, f Finding) *directive {
 	for _, d := range dirs {
 		if d.Pass != f.Pass {
 			continue
@@ -110,10 +130,10 @@ func suppress(dirs []*directive, f Finding) bool {
 		}
 		if f.Pos.Line == d.Pos.Line || f.Pos.Line == d.target {
 			d.used = true
-			return true
+			return d
 		}
 	}
-	return false
+	return nil
 }
 
 // directiveText extracts the payload of a //tdfm:allow comment, if the

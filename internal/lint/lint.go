@@ -24,7 +24,18 @@
 //   - paniccontract: exported facade functions that can panic but do
 //     not document it;
 //   - docs: missing godoc on exported identifiers (the old vetdocs
-//     check; cmd/vetdocs remains as a thin wrapper over it).
+//     check; cmd/vetdocs remains as a thin wrapper over it);
+//   - poolown: pooled tensor buffers released on every return path,
+//     never used after release, never escaping the owning function
+//     (path-sensitive, on the cfg.go/dataflow.go engine);
+//   - lockdiscipline: mutex lock/unlock pairing on all paths,
+//     double-lock detection, and no blocking operations while a
+//     serving/registry hot-path lock is held (same engine).
+//
+// The last two run on a per-function control-flow graph with a forward
+// abstract-interpretation driver — see cfg.go for the engine and
+// DESIGN.md §12 for its design; it is the extension point for any
+// future path-sensitive pass.
 package lint
 
 import (
@@ -43,6 +54,11 @@ type Finding struct {
 	Pos token.Position
 	// Message describes the problem and, where possible, the fix.
 	Message string
+	// SuppressedBy is the justification of the //tdfm:allow directive
+	// that silenced this finding; empty for active findings. RunAll
+	// returns suppressed findings so tooling (tdfmlint -json) can show
+	// what the directives are excusing.
+	SuppressedBy string
 }
 
 // String formats the finding in the conventional path:line:col style.
@@ -73,6 +89,8 @@ func AllPasses() []Pass {
 		NewErrWrap(),
 		NewPanicContract(),
 		NewDocs(),
+		NewPoolOwn(),
+		NewLockDiscipline(),
 	}
 }
 
@@ -90,30 +108,41 @@ func KnownPassNames() map[string]bool {
 
 // Run executes the passes over every package, applies suppression
 // directives, and returns the surviving findings plus any directive
-// problems (unknown pass, missing reason, suppressing nothing), sorted
-// by position then pass name.
+// problems (unknown pass, missing reason, suppressing nothing, exact
+// duplicates), sorted by position then pass name.
 func Run(pkgs []*Package, passes []Pass) []Finding {
+	active, _ := RunAll(pkgs, passes)
+	return active
+}
+
+// RunAll is Run but also returns the findings that //tdfm:allow
+// directives suppressed, each carrying the directive's justification in
+// SuppressedBy. Only the active findings gate; the suppressed ones
+// exist for tooling that audits what the tree's directives excuse.
+func RunAll(pkgs []*Package, passes []Pass) (active, suppressed []Finding) {
 	known := KnownPassNames()
 	ran := make(map[string]bool, len(passes))
 	for _, p := range passes {
 		ran[p.Name()] = true
 	}
-	var out []Finding
 	for _, pkg := range pkgs {
 		dirs, bad := collectDirectives(pkg, known)
-		out = append(out, bad...)
+		active = append(active, bad...)
 		for _, p := range passes {
 			for _, f := range p.Run(pkg) {
-				if !suppress(dirs, f) {
-					out = append(out, f)
+				if d := suppressedBy(dirs, f); d != nil {
+					f.SuppressedBy = d.Reason
+					suppressed = append(suppressed, f)
+				} else {
+					active = append(active, f)
 				}
 			}
 		}
 		// A directive for a pass that ran but suppressed nothing is
 		// stale: the code it excused has moved or been fixed.
 		for _, d := range dirs {
-			if ran[d.Pass] && !d.used {
-				out = append(out, Finding{
+			if ran[d.Pass] && !d.used && !d.dup {
+				active = append(active, Finding{
 					Pass: DirectivePass,
 					Pos:  d.Pos,
 					Message: fmt.Sprintf(
@@ -122,8 +151,9 @@ func Run(pkgs []*Package, passes []Pass) []Finding {
 			}
 		}
 	}
-	sortFindings(out)
-	return out
+	sortFindings(active)
+	sortFindings(suppressed)
+	return active, suppressed
 }
 
 // sortFindings orders findings by file, line, column, then pass.

@@ -125,6 +125,11 @@ func TestGoldenPasses(t *testing.T) {
 			return &PanicContract{Facades: []string{pkg.RelPath}}
 		}},
 		{"docs", func(*Package) Pass { return NewDocs() }},
+		{"poolown", func(*Package) Pass { return NewPoolOwn() }},
+		{"lockdiscipline", func(pkg *Package) Pass {
+			// The golden package stands in for a hot-path package.
+			return &LockDiscipline{BlockingScope: []string{pkg.RelPath}}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -51,6 +51,17 @@ type Package struct {
 // Loader parses and type-checks package directories. All packages
 // loaded by one Loader share a FileSet and an importer, so repeated
 // loads amortize the cost of type-checking shared dependencies.
+//
+// The Loader is itself the types.Importer for packages inside the
+// enclosing module: an intra-module import path maps straight to its
+// directory and loads through the same cache as a lint target, so each
+// module package is parsed and type-checked exactly once per Loader —
+// whether it first appears as a target or as a dependency of one.
+// (Before this, the source importer re-resolved and re-checked every
+// intra-module dependency through the go command, so a tree-wide run
+// checked most packages twice.) Everything else — the standard library,
+// out-of-module imports — falls through to the stdlib source importer,
+// which keeps its own cache.
 type Loader struct {
 	// Fset is the shared position table.
 	Fset *token.FileSet
@@ -60,6 +71,14 @@ type Loader struct {
 	NoTypes bool
 
 	imp types.Importer
+	// pkgs caches fully loaded module packages by import path; loading
+	// marks in-flight paths to fail fast on import cycles instead of
+	// recursing forever on malformed source.
+	pkgs    map[string]*Package
+	loading map[string]bool
+	// modRoot/modPath describe the module of the most recent Load
+	// target; intra-module import paths resolve against them.
+	modRoot, modPath string
 }
 
 // NewLoader returns a loader with a fresh FileSet and a source-based
@@ -67,7 +86,53 @@ type Loader struct {
 // data needed, module imports resolve through the go command).
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset:    fset,
+		imp:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local import paths
+// load (cached) through this Loader; everything else goes to the
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if sub, ok := l.moduleLocal(path); ok {
+		pkg, err := l.Load(filepath.Join(l.modRoot, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: %s: type information unavailable", path)
+		}
+		return pkg.Types, nil
+	}
+	if from, ok := l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return l.imp.Import(path)
+}
+
+// moduleLocal reports whether an import path names a package inside the
+// current module, returning its module-relative directory ("." for the
+// root package).
+func (l *Loader) moduleLocal(path string) (string, bool) {
+	if l.modPath == "" {
+		return "", false
+	}
+	if path == l.modPath {
+		return ".", true
+	}
+	if sub, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return sub, true
+	}
+	return "", false
 }
 
 // Load parses the non-test Go files of dir and, unless NoTypes is set,
@@ -75,6 +140,20 @@ func NewLoader() *Loader {
 // non-test packages is an error; type-check problems are not (they are
 // recorded in Package.TypeErrors).
 func (l *Loader) Load(dir string) (*Package, error) {
+	if root, path := moduleRootAndPath(dir); path != "" {
+		l.modRoot, l.modPath = root, path
+	}
+	key := importKeyFor(dir)
+	if key != "" {
+		if pkg, ok := l.pkgs[key]; ok {
+			return pkg, nil
+		}
+		if l.loading[key] {
+			return nil, fmt.Errorf("lint: import cycle through %s", key)
+		}
+		l.loading[key] = true
+		defer delete(l.loading, key)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
@@ -108,6 +187,9 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	if !l.NoTypes {
 		l.typecheck(pkg)
 	}
+	if key != "" {
+		l.pkgs[key] = pkg
+	}
 	return pkg, nil
 }
 
@@ -115,7 +197,7 @@ func (l *Loader) Load(dir string) (*Package, error) {
 // failing on errors so passes can still use whatever was resolved.
 func (l *Loader) typecheck(pkg *Package) {
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	path := importPathFor(pkg)
@@ -181,9 +263,16 @@ func importPathFor(pkg *Package) string {
 // modulePathFor reads the module path from the nearest go.mod above
 // dir, or "" when there is none.
 func modulePathFor(dir string) string {
+	_, path := moduleRootAndPath(dir)
+	return path
+}
+
+// moduleRootAndPath finds the nearest go.mod above dir, returning the
+// module root directory and module path ("", "" outside any module).
+func moduleRootAndPath(dir string) (string, string) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return ""
+		return "", ""
 	}
 	for root := abs; ; {
 		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
@@ -191,15 +280,37 @@ func modulePathFor(dir string) string {
 			for _, line := range strings.Split(string(data), "\n") {
 				line = strings.TrimSpace(line)
 				if rest, ok := strings.CutPrefix(line, "module "); ok {
-					return strings.TrimSpace(rest)
+					return root, strings.TrimSpace(rest)
 				}
 			}
-			return ""
+			return "", ""
 		}
 		parent := filepath.Dir(root)
 		if parent == root {
-			return ""
+			return "", ""
 		}
 		root = parent
 	}
+}
+
+// importKeyFor derives the Loader cache key for a directory: its
+// in-module import path (identical to what importPathFor computes for
+// the loaded package), or "" — uncached — outside any module.
+func importKeyFor(dir string) string {
+	root, mod := moduleRootAndPath(dir)
+	if mod == "" {
+		return ""
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return ""
+	}
+	if rel == "." {
+		return mod
+	}
+	return mod + "/" + filepath.ToSlash(rel)
 }

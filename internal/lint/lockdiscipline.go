@@ -1,0 +1,419 @@
+package lint
+
+// LockDiscipline: dataflow lock checking over the CFG engine
+// (DESIGN.md §11 serving contracts, §12 engine).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+)
+
+// chaosPkg is the injected-clock package whose wait primitives count as
+// blocking operations.
+const chaosPkg = "tdfm/internal/chaos"
+
+// Lock-state facts (a bitset: paths may disagree).
+const (
+	lLocked  = 1 << iota // some path holds the write lock
+	lRLocked             // some path holds a read lock
+)
+
+// lockEntry is the abstract state of one mutex reference.
+type lockEntry struct {
+	bits   int
+	origin token.Pos // most recent acquisition, where findings anchor
+	label  string    // printable receiver, "s.mu", "s.memberMu[idx]"
+	// everHeld distinguishes "we saw this function unlock a lock it
+	// acquired" from the helper idiom of unlocking a caller-held lock
+	// (which the pass leaves alone).
+	everHeld bool
+	// deferUnlock/deferRUnlock record registered deferred releases.
+	deferUnlock  bool
+	deferRUnlock bool
+}
+
+// lockState maps mutex keys (refKey of the receiver) to their entry.
+type lockState map[string]lockEntry
+
+// LockDiscipline enforces mutex discipline on every function,
+// path-sensitively over the CFG engine:
+//
+//   - every sync.Mutex/RWMutex Lock and RLock must reach its Unlock or
+//     RUnlock (directly or via defer) on every return path;
+//   - no double Lock of the same mutex reference on any path, no
+//     Lock/RLock mixing on the same reference (a goroutine that
+//     write-locks while read-locking deadlocks itself), and no
+//     recursive RLock (a blocked writer makes it deadlock);
+//   - a deferred Unlock must not fire on a mutex the function already
+//     unlocked (an unlock-of-unlocked panic at runtime);
+//   - in the hot-path packages listed in BlockingScope, no blocking
+//     operation while any lock is held: channel sends and receives
+//     (select cases with a default are exempt — they do not block),
+//     selects without a default, ranging over a channel,
+//     sync.WaitGroup.Wait, chaos.Clock waits (Sleep, BlockUntil), and
+//     ensemble-member inference dispatch (PredictProbs,
+//     PredictProbsErr). A deliberate block-while-held design carries a
+//     justified //tdfm:allow.
+//
+// The analysis is intraprocedural and keyed on receiver reference
+// chains (s.mu, t.clock.mu, s.memberMu[idx]): distinct chains are
+// distinct locks, and a helper that unlocks a lock its caller acquired
+// is left alone (the pass only tracks locks it saw acquired).
+type LockDiscipline struct {
+	// BlockingScope lists module-relative package paths where the
+	// blocking-under-lock check applies (same syntax as
+	// NoDeterminism.Allow). Pairing and double-lock checks always run.
+	BlockingScope []string
+}
+
+// NewLockDiscipline returns the pass with the repo's hot-path scope:
+// the serving tier and the model registry, where a lock held across a
+// blocking call stalls request admission or a hot swap.
+func NewLockDiscipline() *LockDiscipline {
+	return &LockDiscipline{BlockingScope: []string{
+		"internal/serve",
+		"internal/registry",
+		"cmd/tdfmserve",
+	}}
+}
+
+// Name implements Pass.
+func (p *LockDiscipline) Name() string { return "lockdiscipline" }
+
+// Doc implements Pass.
+func (p *LockDiscipline) Doc() string {
+	return "Lock/Unlock pairing on all paths, double-lock detection, and no blocking calls under hot-path locks"
+}
+
+// Run implements Pass.
+func (p *LockDiscipline) Run(pkg *Package) []Finding {
+	if pkg.Types == nil {
+		return nil
+	}
+	blockingScoped := matchPath(p.BlockingScope, pkg.RelPath)
+	var out []Finding
+	for _, f := range pkg.Files {
+		funcBodies(f, func(fn ast.Node, body *ast.BlockStmt, name string) {
+			out = append(out, p.checkFunc(pkg, body, blockingScoped)...)
+		})
+	}
+	return out
+}
+
+// checkFunc analyzes one function body.
+func (p *LockDiscipline) checkFunc(pkg *Package, body *ast.BlockStmt, blockingScoped bool) []Finding {
+	cfg := BuildCFG(pkg, body)
+	a := &lockAnalysis{pkg: pkg, cfg: cfg, blockingScoped: blockingScoped}
+	lat := flowLattice[lockState]{
+		entry:    lockState{},
+		transfer: func(s lockState, n ast.Node) lockState { return a.step(s, n, nil) },
+		join:     joinLock,
+		equal: func(x, y lockState) bool {
+			return maps.Equal(x, y)
+		},
+	}
+	in, reached := forward(cfg, lat)
+
+	var out []Finding
+	seen := make(map[string]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		f := Finding{Pass: p.Name(), Pos: pkg.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+		key := f.Pos.String() + f.Message
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, f)
+		}
+	}
+	simulate(cfg, lat, in, reached, func(s lockState, n ast.Node) lockState {
+		return a.step(s, n, report)
+	})
+	// End-of-function obligations, one check per normal exit path.
+	for _, s := range exitStates(cfg, lat, in, reached) {
+		for _, e := range s {
+			if e.bits&lLocked != 0 && !e.deferUnlock {
+				report(e.origin, "%s.Lock() is not released on every return path; add the missing Unlock (defer works) on the early-return path", e.label)
+			}
+			if e.bits&lRLocked != 0 && !e.deferRUnlock {
+				report(e.origin, "%s.RLock() is not released on every return path; add the missing RUnlock (defer works) on the early-return path", e.label)
+			}
+			if e.deferUnlock && e.everHeld && e.bits&(lLocked|lRLocked) == 0 {
+				report(e.origin, "deferred %s.Unlock() will fire on a mutex this function already unlocked (unlock-of-unlocked panics at runtime)", e.label)
+			}
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// joinLock merges two path states: union of locks, bitwise-OR of held
+// facts, and a deferred unlock only counts if both paths registered it.
+func joinLock(a, b lockState) lockState {
+	out := make(lockState, len(a))
+	maps.Copy(out, a)
+	for k, eb := range b {
+		ea, ok := out[k]
+		if !ok {
+			out[k] = eb
+			continue
+		}
+		ea.bits |= eb.bits
+		ea.everHeld = ea.everHeld || eb.everHeld
+		ea.deferUnlock = ea.deferUnlock && eb.deferUnlock
+		ea.deferRUnlock = ea.deferRUnlock && eb.deferRUnlock
+		if eb.origin > ea.origin {
+			ea.origin, ea.label = eb.origin, eb.label
+		}
+		out[k] = ea
+	}
+	return out
+}
+
+// lockAnalysis carries per-function context for the transfer function.
+type lockAnalysis struct {
+	pkg            *Package
+	cfg            *CFG
+	blockingScoped bool
+}
+
+// step is the transfer function; with report non-nil it also emits
+// findings (the simulate phase). It never mutates s.
+func (a *lockAnalysis) step(s lockState, n ast.Node, report func(token.Pos, string, ...any)) lockState {
+	st := maps.Clone(s)
+
+	if d, isDefer := n.(*ast.DeferStmt); isDefer {
+		a.applyDeferred(st, d.Call)
+		return st
+	}
+
+	// Mutex transitions anywhere in the node.
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		a.mutexCall(st, call, report)
+		return true
+	})
+
+	// Blocking operations while a lock is held (hot-path packages only).
+	if a.blockingScoped && report != nil {
+		if held, label := anyHeld(st); held {
+			a.checkBlocking(st, n, label, report)
+		}
+	}
+	return st
+}
+
+// anyHeld reports whether any tracked lock may be held, returning a
+// printable name for messages.
+func anyHeld(st lockState) (bool, string) {
+	best := ""
+	var bestPos token.Pos
+	for _, e := range st {
+		if e.bits&(lLocked|lRLocked) == 0 {
+			continue
+		}
+		// Prefer the most recently acquired lock for the message, and
+		// make the pick deterministic across map iteration order.
+		if e.origin > bestPos || (e.origin == bestPos && e.label < best) || best == "" {
+			best, bestPos = e.label, e.origin
+		}
+	}
+	return best != "", best
+}
+
+// mutexCall applies one Lock/Unlock/RLock/RUnlock transition.
+func (a *lockAnalysis) mutexCall(st lockState, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	name, ok := mutexMethod(a.pkg, call)
+	if !ok {
+		return
+	}
+	recv := recvExpr(call)
+	if recv == nil {
+		return
+	}
+	key, ok := refKey(a.pkg, recv)
+	if !ok {
+		return
+	}
+	label := exprText(recv)
+	e := st[key]
+	switch name {
+	case "Lock":
+		if report != nil {
+			if e.bits&lLocked != 0 {
+				report(call.Pos(), "possible double %s.Lock() (already locked at %s); this deadlocks the goroutine", label, a.line(e.origin))
+			} else if e.bits&lRLocked != 0 {
+				report(call.Pos(), "%s.Lock() while holding %s.RLock() (read lock taken at %s); lock upgrades deadlock", label, label, a.line(e.origin))
+			}
+		}
+		e.bits |= lLocked
+		e.origin, e.label, e.everHeld = call.Pos(), label, true
+	case "RLock":
+		if report != nil {
+			if e.bits&lLocked != 0 {
+				report(call.Pos(), "%s.RLock() while holding %s.Lock() (write lock taken at %s); this deadlocks the goroutine", label, label, a.line(e.origin))
+			} else if e.bits&lRLocked != 0 {
+				report(call.Pos(), "recursive %s.RLock() (already read-locked at %s); a writer between the two deadlocks both", label, a.line(e.origin))
+			}
+		}
+		e.bits |= lRLocked
+		e.origin, e.label, e.everHeld = call.Pos(), label, true
+	case "Unlock":
+		if report != nil && e.everHeld && e.bits&lLocked == 0 {
+			report(call.Pos(), "%s.Unlock() of a mutex no path still holds (unlock-of-unlocked panics at runtime)", label)
+		}
+		e.bits &^= lLocked
+		if e.label == "" {
+			e.label = label
+		}
+	case "RUnlock":
+		if report != nil && e.everHeld && e.bits&lRLocked == 0 {
+			report(call.Pos(), "%s.RUnlock() of a mutex no path still read-holds (runtime fatal)", label)
+		}
+		e.bits &^= lRLocked
+		if e.label == "" {
+			e.label = label
+		}
+	}
+	st[key] = e
+}
+
+// applyDeferred credits deferred unlocks: a direct deferred call or any
+// unlock calls inside a deferred closure body.
+func (a *lockAnalysis) applyDeferred(st lockState, call *ast.CallExpr) {
+	credit := func(c *ast.CallExpr) {
+		name, ok := mutexMethod(a.pkg, c)
+		if !ok || (name != "Unlock" && name != "RUnlock") {
+			return
+		}
+		recv := recvExpr(c)
+		if recv == nil {
+			return
+		}
+		key, ok := refKey(a.pkg, recv)
+		if !ok {
+			return
+		}
+		e := st[key]
+		if e.label == "" {
+			e.label = exprText(recv)
+		}
+		if name == "Unlock" {
+			e.deferUnlock = true
+		} else {
+			e.deferRUnlock = true
+		}
+		st[key] = e
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				credit(c)
+			}
+			return true
+		})
+		return
+	}
+	credit(call)
+}
+
+// checkBlocking reports blocking operations inside a node while label's
+// lock is held.
+func (a *lockAnalysis) checkBlocking(st lockState, n ast.Node, label string, report func(token.Pos, string, ...any)) {
+	// Select comm statements are the select machinery's own channel
+	// operations; the SelectStmt node decides blocking-ness wholesale.
+	if stmt, ok := n.(ast.Stmt); ok && a.cfg.SelectComms[stmt] {
+		return
+	}
+	blame := func(pos token.Pos, what string) {
+		report(pos, "%s while %s is held; release the lock before blocking (or justify the wait with //tdfm:allow)", what, label)
+	}
+	switch x := n.(type) {
+	case *ast.SelectStmt:
+		if !selectHasDefault(x) {
+			blame(x.Pos(), "select with no default case")
+		}
+		return
+	case *ast.RangeStmt:
+		if t, ok := a.pkg.Info.Types[x.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				blame(x.Pos(), "range over a channel")
+			}
+		}
+		return
+	case *ast.GoStmt:
+		// The spawned call runs in its own goroutine; only the argument
+		// expressions execute (and can block) here.
+		for _, arg := range x.Call.Args {
+			a.checkBlocking(st, arg, label, report)
+		}
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.SendStmt:
+			blame(x.Arrow, "channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				blame(x.OpPos, "channel receive")
+			}
+		case *ast.CallExpr:
+			if what, blocking := a.blockingCall(x); blocking {
+				blame(x.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can block indefinitely.
+func (a *lockAnalysis) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(a.pkg, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Wait":
+		if methodOn(a.pkg, call, "sync", "WaitGroup", "Wait") {
+			return "sync.WaitGroup.Wait", true
+		}
+	case "Sleep", "BlockUntil":
+		if methodOn(a.pkg, call, chaosPkg, "", fn.Name()) {
+			return "chaos clock " + fn.Name(), true
+		}
+	case "PredictProbs", "PredictProbsErr":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "member inference dispatch (" + fn.Name() + ")", true
+		}
+	}
+	return "", false
+}
+
+// mutexMethod resolves a call to one of the sync mutex transitions.
+func mutexMethod(pkg *Package, call *ast.CallExpr) (string, bool) {
+	for _, name := range [...]string{"Lock", "Unlock", "RLock", "RUnlock"} {
+		if methodOn(pkg, call, "sync", "Mutex", name) || methodOn(pkg, call, "sync", "RWMutex", name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// selectHasDefault reports whether a select has a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// line renders a position's line for in-message cross references.
+func (a *lockAnalysis) line(pos token.Pos) string {
+	return fmt.Sprintf("line %d", a.pkg.Fset.Position(pos).Line)
+}

@@ -7,6 +7,7 @@ package directives
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -44,4 +45,27 @@ func Stale() int {
 	// want@+1 "suppresses nothing"
 	//tdfm:allow errwrap directive-test fixture: nothing here fails errwrap
 	return 1
+}
+
+// StaleDataflow carries directives for the dataflow passes with
+// nothing left to suppress: the lock below is correctly paired and
+// nothing is pooled.
+func StaleDataflow(mu *sync.Mutex) int {
+	// want@+1 "suppresses nothing"
+	//tdfm:allow poolown directive-test fixture: nothing here allocates from the pool
+	// want@+1 "suppresses nothing"
+	//tdfm:allow lockdiscipline directive-test fixture: the pairing below is complete
+	mu.Lock()
+	defer mu.Unlock()
+	return 2
+}
+
+// Duplicated stacks the same pass twice over one line; the second
+// directive can never add anything and is reported once, as a
+// duplicate (not also as stale).
+func Duplicated() time.Time {
+	// want@+2 "duplicate //tdfm:allow nodeterminism"
+	//tdfm:allow nodeterminism directive-test fixture: first of a duplicate pair
+	//tdfm:allow nodeterminism directive-test fixture: second of a duplicate pair
+	return time.Now()
 }

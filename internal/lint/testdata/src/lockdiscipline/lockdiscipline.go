@@ -1,0 +1,228 @@
+// Package lockdiscipline seeds mutex-discipline violations for the
+// dataflow pass: locks that miss their unlock on an early-return path,
+// double locks, read/write mixing, unlock-of-unlocked, and blocking
+// operations under a held lock — next to the clean idioms (defer,
+// branch-complete pairing, select with default) that must stay silent.
+package lockdiscipline
+
+import (
+	"errors"
+	"sync"
+)
+
+// box is the shared fixture receiver.
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	wg  sync.WaitGroup
+	ch  chan int
+	val int
+}
+
+// LockWithoutUnlockOnEarlyReturn is the acceptance case: the happy
+// path unlocks, the error path forgets.
+func (b *box) LockWithoutUnlockOnEarlyReturn(n int) error {
+	b.mu.Lock() // want "not released on every return path"
+	if n < 0 {
+		return errors.New("negative") // leaks the lock
+	}
+	b.val = n
+	b.mu.Unlock()
+	return nil
+}
+
+// DeferUnlock covers every path with one defer: clean.
+func (b *box) DeferUnlock(n int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n < 0 {
+		return errors.New("negative")
+	}
+	b.val = n
+	return nil
+}
+
+// BranchUnlock pairs the lock on both arms explicitly: clean.
+func (b *box) BranchUnlock(n int) {
+	b.mu.Lock()
+	if n%2 == 0 {
+		b.val = n
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+}
+
+// DoubleLock locks the same mutex twice on one path (the abstract
+// state is a held/not-held bitset, not a recursion counter, so the
+// single unlock below closes the function cleanly).
+func (b *box) DoubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want "double b.mu.Lock"
+	b.val++
+	b.mu.Unlock()
+}
+
+// UpgradeDeadlock write-locks while read-holding the same RWMutex.
+func (b *box) UpgradeDeadlock() {
+	b.rw.RLock()
+	b.rw.Lock() // want "lock upgrades deadlock"
+	b.rw.Unlock()
+	b.rw.RUnlock()
+}
+
+// RecursiveRLock re-acquires a read lock it already holds.
+func (b *box) RecursiveRLock() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	b.rw.RLock() // want "recursive b.rw.RLock"
+	v := b.val
+	b.rw.RUnlock()
+	return v
+}
+
+// ReadThenWrite releases the read lock before write-locking: clean.
+func (b *box) ReadThenWrite(n int) {
+	b.rw.RLock()
+	stale := b.val != n
+	b.rw.RUnlock()
+	if stale {
+		b.rw.Lock()
+		b.val = n
+		b.rw.Unlock()
+	}
+}
+
+// UnlockOfUnlocked unlocks twice on one path.
+func (b *box) UnlockOfUnlocked() {
+	b.mu.Lock()
+	b.val++
+	b.mu.Unlock()
+	b.mu.Unlock() // want "no path still holds"
+}
+
+// DeferAfterManualUnlock registers a deferred unlock and then also
+// unlocks by hand: the defer will fire on an unlocked mutex.
+func (b *box) DeferAfterManualUnlock() {
+	b.mu.Lock() // want "will fire on a mutex this function already unlocked"
+	defer b.mu.Unlock()
+	b.val++
+	b.mu.Unlock()
+}
+
+// HelperUnlock unlocks a mutex its caller acquired: outside this
+// function's obligations, clean by policy.
+func (b *box) HelperUnlock() {
+	b.val++
+	b.mu.Unlock()
+}
+
+// SendUnderLock blocks on a channel send while holding the lock.
+func (b *box) SendUnderLock(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- n // want "channel send while b.mu is held"
+}
+
+// ReceiveUnderLock blocks on a receive while holding the lock.
+func (b *box) ReceiveUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "channel receive while b.mu is held"
+}
+
+// SelectUnderLock has no default: it parks while holding the lock.
+func (b *box) SelectUnderLock(done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select with no default case while b.mu is held"
+	case v := <-b.ch:
+		b.val = v
+	case <-done:
+	}
+}
+
+// NonBlockingSelect drains opportunistically with a default: clean.
+func (b *box) NonBlockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.val = v
+	default:
+	}
+}
+
+// RangeChannelUnderLock consumes a channel while holding the lock.
+func (b *box) RangeChannelUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want "range over a channel while b.mu is held"
+		b.val += v
+	}
+}
+
+// WaitUnderLock waits out a WaitGroup while holding the lock.
+func (b *box) WaitUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want "sync.WaitGroup.Wait while b.mu is held"
+}
+
+// UnlockBeforeBlocking releases the lock first: clean.
+func (b *box) UnlockBeforeBlocking(n int) {
+	b.mu.Lock()
+	b.val = n
+	b.mu.Unlock()
+	b.ch <- n
+}
+
+// SpawnUnderLock starts the blocking work on its own goroutine: clean
+// (the send executes elsewhere).
+func (b *box) SpawnUnderLock(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go b.deliver(n)
+}
+
+// deliver is SpawnUnderLock's goroutine body.
+func (b *box) deliver(n int) {
+	b.ch <- n
+}
+
+// TwoLocks tracks distinct mutex references independently: clean.
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// Cross locks both members and releases both: clean.
+func (p *pair) Cross() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// IndexedLocks distinguishes striped locks by index expression.
+type striped struct {
+	mu [8]sync.Mutex
+	n  [8]int
+}
+
+// Bump pairs the same stripe: clean.
+func (s *striped) Bump(i int) {
+	s.mu[i].Lock()
+	s.n[i]++
+	s.mu[i].Unlock()
+}
+
+// LoopRelock pairs a lock inside each iteration: clean.
+func (b *box) LoopRelock(xs []int) {
+	for _, x := range xs {
+		b.mu.Lock()
+		b.val += x
+		b.mu.Unlock()
+	}
+}

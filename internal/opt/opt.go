@@ -64,7 +64,7 @@ func (s *SGD) Step(params []*nn.Param) {
 		v, ok := s.velocity[p]
 		if !ok {
 			v = tensor.GetBuf(len(w))
-			s.velocity[p] = v
+			s.velocity[p] = v //tdfm:allow poolown the optimizer owns velocity state across Step calls; every buffer is returned by SGD.Release
 		}
 		for i := range w {
 			grad := g[i] + s.WeightDecay*w[i]
@@ -128,12 +128,12 @@ func (a *Adam) Step(params []*nn.Param) {
 		m, ok := a.m[p]
 		if !ok {
 			m = tensor.GetBuf(len(w))
-			a.m[p] = m
+			a.m[p] = m //tdfm:allow poolown the optimizer owns first-moment state across Step calls; every buffer is returned by Adam.Release
 		}
 		v, ok := a.v[p]
 		if !ok {
 			v = tensor.GetBuf(len(w))
-			a.v[p] = v
+			a.v[p] = v //tdfm:allow poolown the optimizer owns second-moment state across Step calls; every buffer is returned by Adam.Release
 		}
 		for i := range w {
 			grad := g[i] + a.WeightDecay*w[i]

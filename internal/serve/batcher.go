@@ -165,7 +165,7 @@ func (b *batcher) flush(buf []*batchRequest, rows int, reason string) {
 		}
 		// The stacking buffer lives only for this flush; pool-backed
 		// storage lets consecutive flushes of similar size reuse it.
-		stacked = tensor.ConcatRowsPooled(parts...)
+		stacked = tensor.ConcatRowsPooled(parts...) //tdfm:allow poolown released below unless a timed-out member may still be reading it, in which case the GC reclaims it (see the Release guard)
 		x = stacked
 	}
 	probs, reports := b.s.fanout(batchID, x)

@@ -178,7 +178,7 @@ func (s *Server) vote(probs []*tensor.Tensor, reports []MemberReport, lo, hi int
 func (s *Server) runMember(key string, idx int, x *tensor.Tensor, out chan<- outcome) {
 	s.memberMu[idx].Lock()
 	defer s.memberMu[idx].Unlock()
-	out <- s.memberOutcome(key, idx, x)
+	out <- s.memberOutcome(key, idx, x) //tdfm:allow lockdiscipline the channel is buffered one slot per member so this send never blocks; holding memberMu across it is the documented deadline rendezvous
 }
 
 // memberOutcome runs one member's inference with panic recovery and the

@@ -126,7 +126,7 @@ func (h *Hot) Swap(next *Server) {
 	h.gen = &generation{srv: next}
 	h.mu.Unlock()
 
-	old.wg.Wait()
+	old.wg.Wait() //tdfm:allow lockdiscipline swapMu is the swap-serialization lock, not a request-path lock: requests go through h.mu (released above), so waiting out the old generation here blocks only competing swaps, by design
 	old.srv.Drain()
 	old.srv.ReleaseArenas()
 
@@ -147,7 +147,7 @@ func (h *Hot) Drain() {
 	h.mu.RLock()
 	g := h.gen
 	h.mu.RUnlock()
-	g.wg.Wait()
+	g.wg.Wait() //tdfm:allow lockdiscipline swapMu only serializes Drain against concurrent Swap; requests go through h.mu (released above), so the wait cannot stall admission
 	g.srv.Drain()
 	g.srv.ReleaseArenas()
 }
