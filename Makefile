@@ -1,6 +1,6 @@
 # Convenience targets for the TDFM reproduction.
 
-.PHONY: build test test-race chaos serve-chaos swap-chaos bench bench-serve bench-mem bench-parallel repro examples vet vet-docs lint fmt clean
+.PHONY: build test test-race chaos serve-chaos swap-chaos grid-chaos bench bench-serve bench-mem bench-parallel repro examples vet vet-docs lint fmt clean
 
 # Worker-pool size for bench-parallel (the serial leg always runs at 1).
 WORKERS ?= 4
@@ -15,7 +15,8 @@ vet:
 # packages must carry godoc comments (see cmd/vetdocs).
 vet-docs:
 	go run ./cmd/vetdocs internal/obs internal/parallel internal/experiment \
-	    internal/faultinject internal/metrics internal/registry internal/serve
+	    internal/faultinject internal/metrics internal/registry internal/serve \
+	    internal/dist
 
 # Static-analysis gate: the full tdfmlint pass suite — nodeterminism,
 # maporder, errwrap, paniccontract, docs — over every package
@@ -32,7 +33,7 @@ fmt:
 # workers).
 test: vet-docs lint
 	go test ./...
-	go test -race ./internal/obs/... ./internal/serve/...
+	go test -race ./internal/obs/... ./internal/serve/... ./internal/dist/...
 
 # Race-detector pass over the whole module (quality gate, DESIGN.md §6).
 test-race:
@@ -62,6 +63,20 @@ serve-chaos:
 swap-chaos:
 	go test -race -count=1 ./internal/registry/...
 	go test -race -count=1 -run '^TestSwapChaos' ./internal/serve/
+
+# Distributed-grid acceptance suite (DESIGN.md §13): the lease protocol
+# unit tests, the HTTP surface, and the grid-chaos gate — a full
+# distributed run on a FakeClock with a worker killed mid-cell and one
+# partitioned past its lease deadline, whose CSV and journal must be
+# bitwise-identical to the single-process run — under the race detector
+# with zero wall-clock sleeps. SHORT=1 trains one epoch per cell and
+# runs only the gate: the CI smoke mode.
+grid-chaos:
+ifdef SHORT
+	TDFM_GRID_SHORT=1 go test -race -count=1 -run '^TestGridChaos$$' -timeout 20m ./internal/dist/
+else
+	go test -race -count=1 -timeout 30m ./internal/dist/
+endif
 
 # Full benchmark suite: regenerates every table/figure once (tiny scale).
 bench:

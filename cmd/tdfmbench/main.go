@@ -6,6 +6,7 @@
 //	tdfmbench -exp <experiment> [-scale tiny|small|medium] [-reps N]
 //	          [-seed S] [-epochs E] [-workers W] [-csv out.csv] [-progress]
 //	          [-artifacts dir] [-resume] [-pprof cpu.out] [-trace trace.out]
+//	          [-coordinator addr | -worker addr [-worker-id id]]
 //
 // Experiments: table1 table2 table3 table4 motivating fig3-mislabel
 // fig3-removal fig4-mislabel fig4-repetition combined overhead all.
@@ -26,12 +27,24 @@
 // that failed transiently (divergence, panic, I/O, timeout) with the
 // same deterministic seed; -cell-timeout bounds each cell's training
 // time.
+//
+// With -coordinator addr the process serves the experiment grid to
+// remote workers over HTTP (requires -artifacts: worker results flow
+// back into the journal); with -worker addr the process runs as a grid
+// worker leasing cells from the coordinator at addr — the coordinator's
+// configuration is authoritative, so the worker ignores experiment
+// flags. Because every cell derives its randomness from the root seed by
+// cell key, a distributed run's outputs are byte-identical to a local
+// run's, regardless of worker count, crashes, or lease reissues.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -40,7 +53,9 @@ import (
 	"strings"
 	"time"
 
+	"tdfm/internal/chaos"
 	"tdfm/internal/datagen"
+	"tdfm/internal/dist"
 	"tdfm/internal/experiment"
 	"tdfm/internal/faultinject"
 	"tdfm/internal/models"
@@ -73,6 +88,9 @@ func run(args []string) error {
 		cellTO    = fs.Duration("cell-timeout", 0, "per-cell training time budget (0 = unlimited); timed-out cells count as transient failures")
 		pprofPath = fs.String("pprof", "", "write a CPU profile to this path")
 		tracePath = fs.String("trace", "", "write a runtime execution trace to this path")
+		coordAddr = fs.String("coordinator", "", "serve the experiment grid to remote workers on this listen address (host:port); requires -artifacts")
+		workAddr  = fs.String("worker", "", "run as a grid worker against the coordinator at this address (host:port); the coordinator's configuration is authoritative")
+		workerID  = fs.String("worker-id", "", "worker identity reported to the coordinator (default: hostname-pid)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +108,18 @@ func run(args []string) error {
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
+	if *coordAddr != "" && *workAddr != "" {
+		return fmt.Errorf("-coordinator and -worker are mutually exclusive")
+	}
+	if *coordAddr != "" && *artifacts == "" {
+		return fmt.Errorf("-coordinator requires -artifacts (worker results flow back into the journal)")
+	}
+	if *workerID != "" && *workAddr == "" {
+		return fmt.Errorf("-worker-id requires -worker")
+	}
+	if *workAddr != "" {
+		return runWorker(*workAddr, *workerID, workers, *progress)
 	}
 	if *pprofPath != "" {
 		f, err := os.Create(*pprofPath)
@@ -171,6 +201,40 @@ func run(args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "tdfmbench: resumed from %s: %d cells restored, %d journal entries skipped\n",
 				*artifacts, restored, skipped)
+		}
+	}
+
+	// Coordinator mode: serve the grid to remote workers over HTTP and
+	// delegate every uncached cell to them. Completions flow back into
+	// the journal opened above, so the run resumes and renders exactly
+	// like a local one.
+	var finishGrid func()
+	if *coordAddr != "" {
+		coord, err := dist.NewCoordinator(dist.Options{
+			Journal: r.Journal,
+			Config:  dist.ConfigFromRunner(r),
+			Clock:   chaos.Wall(),
+			Sink:    sinks,
+			Ctx:     ctx,
+		})
+		if err != nil {
+			return err
+		}
+		r.Remote = coord
+		ln, err := net.Listen("tcp", *coordAddr)
+		if err != nil {
+			return fmt.Errorf("listening on %s: %w", *coordAddr, err)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tdfmbench: coordinator serving the grid on %s (join with: tdfmbench -worker %s)\n",
+			ln.Addr(), ln.Addr())
+		finishGrid = func() {
+			// Answer StatusDone for one more lease-poll interval so idle
+			// workers exit cleanly instead of seeing a vanished coordinator.
+			coord.Finish()
+			time.Sleep(dist.DefaultLeaseRetry + dist.DefaultLeaseRetry/2)
 		}
 	}
 
@@ -316,6 +380,9 @@ func run(args []string) error {
 		}
 		fmt.Fprintln(out)
 	}
+	if finishGrid != nil {
+		finishGrid()
+	}
 
 	if *csvPath != "" {
 		if csvTable == nil {
@@ -340,6 +407,60 @@ func run(args []string) error {
 		return fmt.Errorf("%d cell(s) failed; see the failure report above", len(fails))
 	}
 	return nil
+}
+
+// runWorker runs the process as a grid worker: lease cells from the
+// coordinator at addr, train them with the coordinator's authoritative
+// configuration, deliver results, repeat until the grid is done. A first
+// SIGINT cancels mid-cell cooperatively — the lease is released so the
+// coordinator re-queues the cell immediately.
+func runWorker(addr, id string, workers int, progress bool) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+			signal.Stop(sig)
+			fmt.Fprintln(os.Stderr, "tdfmbench: interrupt — releasing the current lease; press Ctrl-C again to kill")
+		case <-ctx.Done():
+		}
+	}()
+	parallel.SetBudget(workers)
+	w := &dist.Worker{
+		ID:        id,
+		Transport: &dist.HTTPTransport{Base: base},
+		Clock:     chaos.Wall(),
+		Workers:   workers,
+	}
+	if progress {
+		w.Progress = os.Stderr
+	}
+	fmt.Fprintf(os.Stderr, "tdfmbench: worker %s leasing cells from %s\n", id, base)
+	err := w.Run(ctx)
+	switch {
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "tdfmbench: worker %s: grid complete\n", id)
+		return nil
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("worker %s interrupted — lease released for reissue", id)
+	default:
+		return err
+	}
 }
 
 // resumeCommand reconstructs the command line that resumes this run from

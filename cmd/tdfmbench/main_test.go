@@ -118,6 +118,22 @@ func TestResumeCommand(t *testing.T) {
 	}
 }
 
+func TestRunGridFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"coordinator and worker exclusive", []string{"-coordinator", ":0", "-worker", "localhost:1", "-artifacts", t.TempDir()}},
+		{"coordinator requires artifacts", []string{"-coordinator", ":0"}},
+		{"worker-id requires worker", []string{"-exp", "table1", "-worker-id", "w1"}},
+	}
+	for _, tc := range cases {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: accepted %v", tc.name, tc.args)
+		}
+	}
+}
+
 func TestRunPprofAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	cpu, trc := dir+"/cpu.out", dir+"/trace.out"

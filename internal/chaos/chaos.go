@@ -24,13 +24,19 @@
 //	                         append (a crashed publisher)
 //	registry.open            error opening a published version (a version
 //	                         that refuses to load, without touching disk)
+//	dist.lease               error granting a cell lease (the grid
+//	                         coordinator's /lease path; workers retry)
+//	dist.complete            error accepting a cell completion (the
+//	                         coordinator's /complete path; the flowback
+//	                         is refused and the worker redelivers)
 //
 // Labels scope a fault to specific runs: the trainer passes its Config.Tag
 // (the experiment runner sets it to the cell key), the cell and journal
 // points pass the cell key, the serving layer passes
 // "<request id>/<member name>", the spawn point passes the member name,
-// and the registry points pass the version label ("v3"). Matching is by
-// substring; an empty pattern matches every label.
+// the registry points pass the version label ("v3"), the dist.lease point
+// passes the worker ID, and dist.complete passes the cell key. Matching is
+// by substring; an empty pattern matches every label.
 package chaos
 
 import (

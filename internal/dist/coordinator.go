@@ -1,0 +1,537 @@
+// Package dist fans the experiment grid out across a fleet: a
+// coordinator owns the grid and its journal, workers lease cells over a
+// three-call protocol (/lease, /complete, /heartbeat), and completed
+// cells flow back as journal records the coordinator appends durably —
+// so a distributed run resumes, renders, and digests exactly like a
+// local one.
+//
+// Robustness is the core contract:
+//
+//   - Leases carry deadlines on an injected chaos.Clock. A worker that
+//     crashes, hangs, or stops heartbeating loses its lease; the cell is
+//     reissued after exponential backoff, with capped attempts feeding
+//     the experiment engine's transient/permanent error taxonomy.
+//   - Duplicate completions — a zombie worker delivering a cell whose
+//     lease expired and was reissued — resolve deterministically: the
+//     first durable journal append wins, every flowback is digest
+//     re-verified before journaling, and because cell randomness is
+//     keyed (never scheduled), either copy of the work is byte-identical,
+//     so the final CSV is bitwise-identical regardless of races.
+//   - Workers retry coordinator outages with jittered exponential
+//     backoff and shut down cooperatively on cancellation mid-cell,
+//     returning the lease so another worker picks the cell up
+//     immediately.
+//
+// The coordinator implements experiment.CellExecutor, so distributing a
+// grid is one field: attach it as Runner.Remote and run the experiment
+// code unchanged — memoization, retries, resume, and rendering all
+// behave identically, with the training itself leased to the fleet.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/experiment"
+	"tdfm/internal/obs"
+)
+
+// Default protocol timings (overridable via Options).
+const (
+	// DefaultLeaseTTL is the lease deadline: a cell with no completion or
+	// heartbeat for this long is reissued.
+	DefaultLeaseTTL = 2 * time.Minute
+	// DefaultReissueBase is the first reissue backoff; it doubles per
+	// attempt up to DefaultReissueMax.
+	DefaultReissueBase = time.Second
+	// DefaultReissueMax caps the reissue backoff.
+	DefaultReissueMax = 30 * time.Second
+	// DefaultLeaseRetry is the wait-status polling hint sent to idle
+	// workers.
+	DefaultLeaseRetry = 2 * time.Second
+	// DefaultMaxAttempts bounds lease issues per cell before the cell
+	// fails into the runner's transient taxonomy (which may re-enqueue it
+	// with a fresh budget, per Runner.Retries).
+	DefaultMaxAttempts = 5
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Journal receives the durable flowback record of every completed
+	// cell (required). Appending is the completion acknowledgement: a
+	// worker is only told StatusOK after its record survived AppendVerified.
+	Journal *obs.Journal
+	// Config is the authoritative run configuration sent to workers; it
+	// must match the runner the coordinator serves (same scale, seed,
+	// reps, epochs, width multiplier, clean fraction).
+	Config RunConfig
+	// Clock injects time for lease deadlines and reissue backoff; nil
+	// means the wall clock. Tests install a chaos.FakeClock and drive
+	// every expiry path with zero wall-clock sleeps.
+	Clock chaos.Clock
+	// Sink, when non-nil, receives lease/worker/flowback events.
+	Sink obs.Sink
+	// Ctx, when non-nil, cancels blocked ExecuteCell calls (cooperative
+	// run shutdown). Leased cells keep draining: a completion arriving
+	// after cancellation still journals.
+	Ctx context.Context
+	// LeaseTTL, ReissueBase, ReissueMax, LeaseRetry, and MaxAttempts
+	// override the protocol timing defaults when > 0.
+	LeaseTTL    time.Duration
+	ReissueBase time.Duration
+	ReissueMax  time.Duration
+	LeaseRetry  time.Duration
+	MaxAttempts int
+}
+
+// cellState is the lease lifecycle of one grid cell.
+type cellState int
+
+const (
+	stateQueued  cellState = iota // in the lease queue
+	stateBackoff                  // expired/failed, awaiting its reissue timer
+	stateLeased                   // held by a worker
+	stateDone                     // durably journaled
+	stateFailed                   // attempts exhausted; error delivered to ExecuteCell
+)
+
+// cell tracks one grid cell through the lease lifecycle.
+type cell struct {
+	key      string
+	spec     experiment.CellSpec
+	state    cellState
+	attempts int // lease grants so far this enqueue cycle
+	lease    *lease
+	pred     []int
+	digest   string
+	trainNS  int64
+	err      error
+	done     chan struct{} // closed when state reaches done or failed
+}
+
+// lease is one granted cell lease.
+type lease struct {
+	id       string
+	worker   string
+	key      string
+	deadline time.Time
+	stop     chan struct{} // closed on completion/expiry; ends the watcher
+}
+
+// Coordinator owns the grid: it hands cells to workers under leases,
+// re-verifies and journals completions, and reissues the cells of
+// crashed, hung, or partitioned workers. It implements both
+// experiment.CellExecutor (the runner-facing side) and Transport (the
+// worker-facing side, for in-process fleets; HTTP fleets mount Handler).
+type Coordinator struct {
+	opts  Options
+	clock chaos.Clock
+	ctx   context.Context
+
+	mu       sync.Mutex
+	cells    map[string]*cell
+	queue    []string // keys awaiting lease, FIFO; entries may be stale (skip non-queued)
+	leases   map[string]*lease
+	workers  map[string]bool // workers seen since their last loss
+	seq      int
+	finished bool
+}
+
+// NewCoordinator returns a coordinator serving the given options.
+// Options.Journal is required.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if opts.Journal == nil {
+		return nil, fmt.Errorf("dist: coordinator requires a journal: flowback records are the durable grid state")
+	}
+	if opts.Clock == nil {
+		opts.Clock = chaos.Wall()
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.ReissueBase <= 0 {
+		opts.ReissueBase = DefaultReissueBase
+	}
+	if opts.ReissueMax <= 0 {
+		opts.ReissueMax = DefaultReissueMax
+	}
+	if opts.LeaseRetry <= 0 {
+		opts.LeaseRetry = DefaultLeaseRetry
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Coordinator{
+		opts:    opts,
+		clock:   opts.Clock,
+		ctx:     ctx,
+		cells:   make(map[string]*cell),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]bool),
+	}, nil
+}
+
+// emit forwards an event to the coordinator's sink, if any. It may be
+// called with c.mu held; sinks observe only and must not call back into
+// the coordinator.
+func (c *Coordinator) emit(e obs.Event) {
+	if c.opts.Sink != nil {
+		c.opts.Sink.Emit(e)
+	}
+}
+
+// ExecuteCell implements experiment.CellExecutor: it enqueues the cell
+// for the worker fleet and blocks until a completion flows back durably
+// (returning its predictions) or the lease-reissue budget is exhausted
+// (returning a transient-classified error, so the runner's retry policy
+// can re-enqueue with a fresh budget). Cancellation via Options.Ctx
+// unblocks the call; the cell itself keeps draining and a late
+// completion still journals for the resumed run.
+func (c *Coordinator) ExecuteCell(key string, spec experiment.CellSpec) ([]int, time.Duration, error) {
+	c.mu.Lock()
+	cl := c.cells[key]
+	if cl == nil || cl.state == stateFailed {
+		// Fresh entry (a runner retry after a failed cycle resets the
+		// attempt budget).
+		cl = &cell{key: key, spec: spec, state: stateQueued, done: make(chan struct{})}
+		c.cells[key] = cl
+		c.queue = append(c.queue, key)
+	}
+	done := cl.done
+	c.mu.Unlock()
+
+	select {
+	case <-done:
+	case <-c.ctx.Done():
+		return nil, 0, c.ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl.state == stateDone {
+		return cl.pred, time.Duration(cl.trainNS), nil
+	}
+	return nil, 0, cl.err
+}
+
+// Finish marks the grid complete: subsequent lease requests answer
+// StatusDone so workers drain and exit. Call it after the experiment
+// code (every ExecuteCell) has returned.
+func (c *Coordinator) Finish() {
+	c.mu.Lock()
+	c.finished = true
+	c.mu.Unlock()
+}
+
+// Lease implements Transport: it grants the oldest queued cell to the
+// requesting worker under a deadline, or tells an idle worker to wait
+// (or, after Finish, to exit).
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseReply, error) {
+	// Chaos faultpoint: a coordinator that fails lease grants; workers
+	// must ride it out with backoff.
+	if act := chaos.Check("dist.lease", req.Worker); act != nil && act.Err != nil {
+		return LeaseReply{}, fmt.Errorf("dist: leasing for %s: %w", req.Worker, act.Err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.workers[req.Worker] {
+		c.workers[req.Worker] = true
+		c.emit(obs.Event{Kind: obs.KindWorkerJoin, Member: req.Worker})
+	}
+	if c.finished {
+		return LeaseReply{Status: StatusDone}, nil
+	}
+	cl := c.popQueuedLocked()
+	if cl == nil {
+		return LeaseReply{Status: StatusWait, RetryNS: c.opts.LeaseRetry.Nanoseconds()}, nil
+	}
+	c.seq++
+	l := &lease{
+		id:       fmt.Sprintf("L%d", c.seq),
+		worker:   req.Worker,
+		key:      cl.key,
+		deadline: c.clock.Now().Add(c.opts.LeaseTTL),
+		stop:     make(chan struct{}),
+	}
+	cl.state = stateLeased
+	cl.attempts++
+	cl.lease = l
+	c.leases[l.id] = l
+	go c.watch(l) //tdfm:allow nodeterminism lease-expiry watcher waits on the injected chaos.Clock; it bears no results, only reissue timing
+	c.emit(obs.Event{Kind: obs.KindLeaseGrant, Key: cl.key, Member: req.Worker, N: cl.attempts, Detail: l.id})
+	return LeaseReply{
+		Status:      StatusCell,
+		LeaseID:     l.id,
+		Key:         cl.key,
+		Spec:        cl.spec,
+		Config:      c.opts.Config,
+		TTLNS:       c.opts.LeaseTTL.Nanoseconds(),
+		HeartbeatNS: (c.opts.LeaseTTL / 4).Nanoseconds(),
+		RetryNS:     c.opts.LeaseRetry.Nanoseconds(),
+	}, nil
+}
+
+// popQueuedLocked pops the oldest still-queued cell, skipping stale
+// queue entries (cells completed by a zombie while queued, or re-queued
+// under a newer entry).
+func (c *Coordinator) popQueuedLocked() *cell {
+	for len(c.queue) > 0 {
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		if cl := c.cells[key]; cl != nil && cl.state == stateQueued {
+			return cl
+		}
+	}
+	return nil
+}
+
+// watch waits out one lease's deadline on the injected clock and expires
+// it if neither a completion nor a heartbeat intervened. Heartbeats push
+// the deadline; the watcher re-arms until the pushed deadline truly
+// passes.
+func (c *Coordinator) watch(l *lease) {
+	for {
+		c.mu.Lock()
+		d := l.deadline.Sub(c.clock.Now())
+		c.mu.Unlock()
+		if d <= 0 {
+			c.expire(l)
+			return
+		}
+		t := c.clock.NewTimer(d)
+		select {
+		case <-t.C():
+			// Re-check: a heartbeat may have pushed the deadline.
+		case <-l.stop:
+			t.Stop()
+			return
+		}
+	}
+}
+
+// expire handles a lease whose deadline passed: the worker is declared
+// lost and the cell is reissued with exponential backoff (or failed into
+// the transient taxonomy once its attempt budget is spent).
+func (c *Coordinator) expire(l *lease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.cells[l.key]
+	if cl == nil || cl.state != stateLeased || cl.lease != l {
+		return // completed or superseded before the watcher fired
+	}
+	delete(c.leases, l.id)
+	cl.lease = nil
+	delete(c.workers, l.worker)
+	c.emit(obs.Event{Kind: obs.KindLeaseExpire, Key: l.key, Member: l.worker, Detail: l.id})
+	c.emit(obs.Event{Kind: obs.KindWorkerLost, Member: l.worker})
+	c.reissueLocked(cl, "expired",
+		fmt.Errorf("dist: %s: lease %s on worker %s expired after %d attempt(s): %w",
+			cl.key, l.id, l.worker, cl.attempts, experiment.ErrLeaseExpired))
+}
+
+// reissueLocked re-queues a cell after a lost lease or failed flowback.
+// Involuntary causes ("expired", "worker-failed") carry a capErr and
+// exponential backoff: once the attempt budget is spent the cell fails
+// with capErr instead, which ExecuteCell returns into the runner's
+// transient taxonomy. Cooperative causes ("released", "rejected") pass a
+// nil capErr and re-queue immediately, without burning the budget — a
+// worker shutting down cleanly is not a sick cell. Callers hold c.mu.
+func (c *Coordinator) reissueLocked(cl *cell, cause string, capErr error) {
+	if capErr != nil && cl.attempts >= c.opts.MaxAttempts {
+		cl.state = stateFailed
+		cl.err = capErr
+		close(cl.done)
+		return
+	}
+	var backoff time.Duration
+	if cause == "expired" || cause == "worker-failed" {
+		backoff = c.opts.ReissueBase << (cl.attempts - 1)
+		if backoff > c.opts.ReissueMax {
+			backoff = c.opts.ReissueMax
+		}
+	}
+	if backoff <= 0 {
+		cl.state = stateQueued
+		c.queue = append(c.queue, cl.key)
+		c.emit(obs.Event{Kind: obs.KindLeaseReissue, Key: cl.key, N: cl.attempts, Detail: cause})
+		return
+	}
+	cl.state = stateBackoff
+	c.emit(obs.Event{Kind: obs.KindLeaseReissue, Key: cl.key, N: cl.attempts, Dur: backoff, Detail: cause})
+	go func() { //tdfm:allow nodeterminism reissue backoff waits on the injected chaos.Clock; results never depend on it
+		c.clock.Sleep(backoff)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if cl.state == stateBackoff { // a zombie may have completed the cell meanwhile
+			cl.state = stateQueued
+			c.queue = append(c.queue, cl.key)
+		}
+	}()
+}
+
+// Complete implements Transport: it resolves a cell delivery. Success
+// paths append the flowed-back record durably (digest re-verified) before
+// acknowledging; duplicates and zombie deliveries resolve by the
+// first-durable-append-wins rule; corrupt flowbacks are rejected and the
+// cell reissued; released leases re-queue their cell immediately; failed
+// cells are reissued or failed per the worker's error class.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteReply, error) {
+	// Chaos faultpoint: a coordinator that fails completions; workers
+	// redeliver with backoff and the journal append never happened, so
+	// the cell stays owed.
+	if act := chaos.Check("dist.complete", req.Key); act != nil && act.Err != nil {
+		return CompleteReply{}, fmt.Errorf("dist: completing %s: %w", req.Key, act.Err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.cells[req.Key]
+	if cl == nil {
+		return CompleteReply{Status: StatusUnknown, Detail: "unknown cell"}, nil
+	}
+	if req.Released {
+		if cl.state == stateLeased && cl.lease != nil && cl.lease.id == req.LeaseID {
+			c.dropLeaseLocked(cl)
+			c.reissueLocked(cl, "released", nil)
+		}
+		return CompleteReply{Status: StatusOK}, nil
+	}
+	if cl.state == stateDone {
+		// First durable append won; this is the zombie's copy. Verify it
+		// agrees — keyed randomness guarantees byte-identical work, so a
+		// disagreement means a corrupt worker.
+		if req.Digest == cl.digest {
+			return CompleteReply{Status: StatusDuplicate}, nil
+		}
+		c.emit(obs.Event{Kind: obs.KindJournalError, Key: req.Key, Member: req.Worker,
+			Err: fmt.Errorf("dist: %s: duplicate completion digest %s contradicts durable record %s", req.Key, req.Digest, cl.digest)})
+		return CompleteReply{Status: StatusRejected, Detail: "digest contradicts the durable record"}, nil
+	}
+	if req.ErrReason != "" {
+		return c.completeErrorLocked(cl, req), nil
+	}
+
+	// Success path: first durable append wins. A delivery under an
+	// expired lease (req.LeaseID no longer current) is still accepted —
+	// the work is byte-identical no matter who trained it — and the
+	// current leaseholder's later delivery becomes the duplicate.
+	rec := obs.Record{
+		Key:       req.Key,
+		Digest:    req.Digest,
+		N:         len(req.Pred),
+		TrainNS:   req.TrainNS,
+		Seed:      c.opts.Config.Seed,
+		WidthMult: c.opts.Config.WidthMult,
+		CleanFrac: c.opts.Config.CleanFrac,
+	}
+	if rec.N != 0 && rec.Digest == "" {
+		rec.Digest = obs.Digest(req.Pred) // tolerate old workers that omit the digest
+	}
+	if err := c.opts.Journal.AppendVerified(rec, req.Pred); err != nil {
+		// Corrupt flowback (or a failed durable write): never journaled,
+		// never acknowledged as done — reissue the cell instead.
+		c.emit(obs.Event{Kind: obs.KindJournalError, Key: req.Key, Member: req.Worker, Err: err})
+		c.dropLeaseLocked(cl)
+		if cl.state != stateDone && cl.state != stateFailed {
+			c.reissueLocked(cl, "rejected", nil)
+		}
+		return CompleteReply{Status: StatusRejected, Detail: err.Error()}, nil
+	}
+	c.dropLeaseLocked(cl)
+	cl.state = stateDone
+	cl.pred = req.Pred
+	cl.digest = rec.Digest
+	cl.trainNS = req.TrainNS
+	close(cl.done)
+	c.emit(obs.Event{Kind: obs.KindCellFlowback, Key: req.Key, Member: req.Worker,
+		Dur: time.Duration(req.TrainNS), Detail: "digest=" + rec.Digest})
+	return CompleteReply{Status: StatusOK}, nil
+}
+
+// completeErrorLocked resolves a worker-reported cell failure: permanent
+// errors fail the cell immediately (retrying cannot fix configuration),
+// cancelled ones act like a released lease, and transient ones reissue
+// with backoff until the attempt budget is spent.
+func (c *Coordinator) completeErrorLocked(cl *cell, req CompleteRequest) CompleteReply {
+	if cl.state == stateDone || cl.state == stateFailed {
+		return CompleteReply{Status: StatusDuplicate}
+	}
+	c.dropLeaseLocked(cl)
+	switch experiment.ErrorClass(req.ErrClass) {
+	case experiment.ClassPermanent:
+		cl.state = stateFailed
+		cl.err = fmt.Errorf("dist: %s: worker %s reported a permanent %s failure: %s",
+			cl.key, req.Worker, req.ErrReason, req.ErrMsg)
+		close(cl.done)
+	case experiment.ClassCancelled:
+		c.reissueLocked(cl, "released", nil)
+	default:
+		c.reissueLocked(cl, "worker-failed",
+			fmt.Errorf("dist: %s: worker %s failed the cell after local retries (%s: %s): %w",
+				cl.key, req.Worker, req.ErrReason, req.ErrMsg, experiment.ErrWorkerLost))
+	}
+	return CompleteReply{Status: StatusOK}
+}
+
+// dropLeaseLocked detaches and stops the cell's current lease, if any.
+// Callers hold c.mu.
+func (c *Coordinator) dropLeaseLocked(cl *cell) {
+	if cl.lease == nil {
+		return
+	}
+	delete(c.leases, cl.lease.id)
+	close(cl.lease.stop)
+	cl.lease = nil
+}
+
+// Heartbeat implements Transport: it pushes the lease deadline a full
+// TTL forward. An unknown lease answers StatusUnknown — the worker has
+// become a zombie and its eventual delivery resolves under the
+// first-durable-append-wins rule.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.worker != req.Worker {
+		return HeartbeatReply{Status: StatusUnknown}, nil
+	}
+	l.deadline = c.clock.Now().Add(c.opts.LeaseTTL)
+	return HeartbeatReply{Status: StatusOK}, nil
+}
+
+// Stats is a diagnostic snapshot of the grid's lease lifecycle, used by
+// tests and operators (not part of any result).
+type Stats struct {
+	// Queued, Backoff, Leased, Done, and Failed count cells per state.
+	Queued, Backoff, Leased, Done, Failed int
+	// Workers counts workers seen and not since declared lost.
+	Workers int
+}
+
+// Stats returns a snapshot of cell states and the live worker count.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s Stats
+	for _, cl := range c.cells {
+		switch cl.state {
+		case stateQueued:
+			s.Queued++
+		case stateBackoff:
+			s.Backoff++
+		case stateLeased:
+			s.Leased++
+		case stateDone:
+			s.Done++
+		case stateFailed:
+			s.Failed++
+		}
+	}
+	s.Workers = len(c.workers)
+	return s
+}

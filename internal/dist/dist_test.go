@@ -1,0 +1,530 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/obs"
+)
+
+// eventLog is a concurrency-safe recording sink.
+type eventLog struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (l *eventLog) Emit(e obs.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// count returns how many recorded events have kind k; when detail is
+// non-empty the event's Detail must contain it too.
+func (l *eventLog) count(k obs.Kind, detail string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k && (detail == "" || strings.Contains(e.Detail, detail)) {
+			n++
+		}
+	}
+	return n
+}
+
+// waitFor spins (yielding, never sleeping) until cond holds; the grid
+// clock is fake, so conditions either become true promptly or never.
+func waitFor(t *testing.T, desc string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5_000_000; i++ {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("timed out waiting for %s", desc)
+}
+
+// testCoord builds a coordinator on a fresh journal with fast,
+// deterministic protocol timings; mutate fn customizes the options.
+func testCoord(t *testing.T, clock chaos.Clock, log *eventLog, fn func(*Options)) *Coordinator {
+	t.Helper()
+	j, err := obs.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	opts := Options{
+		Journal:     j,
+		Config:      RunConfig{Scale: datagen.ScaleTiny, Seed: 1, Reps: 1, EpochOverride: 2},
+		Clock:       clock,
+		LeaseTTL:    10 * time.Second,
+		ReissueBase: time.Second,
+		ReissueMax:  8 * time.Second,
+		LeaseRetry:  time.Second,
+		MaxAttempts: 5,
+	}
+	if log != nil {
+		opts.Sink = log
+	}
+	if fn != nil {
+		fn(&opts)
+	}
+	c, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// execResult carries one ExecuteCell outcome off its goroutine.
+type execResult struct {
+	pred []int
+	err  error
+}
+
+// startCellSpec runs ExecuteCell on a goroutine and returns its result
+// channel.
+func startCellSpec(c *Coordinator, key string, spec experiment.CellSpec) chan execResult {
+	ch := make(chan execResult, 1)
+	go func() {
+		pred, _, err := c.ExecuteCell(key, spec)
+		ch <- execResult{pred, err}
+	}()
+	return ch
+}
+
+// startCell is startCellSpec with a placeholder spec, for tests that
+// complete cells by hand rather than training them.
+func startCell(c *Coordinator, key string) chan execResult {
+	return startCellSpec(c, key, experiment.CellSpec{Dataset: "d", Technique: "base", Arch: "a"})
+}
+
+// leaseCell polls Lease for worker until a cell is granted.
+func leaseCell(t *testing.T, c *Coordinator, worker string) LeaseReply {
+	t.Helper()
+	var rep LeaseReply
+	waitFor(t, "a cell lease for "+worker, func() bool {
+		r, err := c.Lease(LeaseRequest{Worker: worker})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep = r
+		return r.Status == StatusCell
+	})
+	return rep
+}
+
+// TestLeaseExpiryReissueAndZombieDuplicate walks the protocol's core
+// crash story on a fake clock: worker w1 leases a cell and dies; the
+// lease expires and the cell is reissued with backoff; w2 completes it;
+// then the zombie w1 delivers its (byte-identical) copy and is answered
+// StatusDuplicate — while a contradicting copy is rejected. The journal
+// holds exactly one record either way.
+func TestLeaseExpiryReissueAndZombieDuplicate(t *testing.T) {
+	clock := chaos.NewFake()
+	log := &eventLog{}
+	c := testCoord(t, clock, log, nil)
+	done := startCell(c, "k1")
+
+	l1 := leaseCell(t, c, "w1")
+	// w1 crashes: no heartbeat, no completion. Advance past the TTL once
+	// the expiry watcher is waiting on the clock.
+	waitFor(t, "the lease watcher to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(10 * time.Second)
+	waitFor(t, "the cell to enter reissue backoff", func() bool { return c.Stats().Backoff == 1 })
+	if got := log.count(obs.KindLeaseExpire, ""); got != 1 {
+		t.Fatalf("lease-expire events = %d, want 1", got)
+	}
+	if got := log.count(obs.KindWorkerLost, ""); got != 1 {
+		t.Fatalf("worker-lost events = %d, want 1", got)
+	}
+	waitFor(t, "the backoff sleeper to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(time.Second) // first reissue backoff: ReissueBase << 0
+	waitFor(t, "the cell to re-enter the queue", func() bool { return c.Stats().Queued == 1 })
+	if got := log.count(obs.KindLeaseReissue, "expired"); got != 1 {
+		t.Fatalf("lease-reissue(expired) events = %d, want 1", got)
+	}
+
+	l2 := leaseCell(t, c, "w2")
+	if l2.LeaseID == l1.LeaseID {
+		t.Fatalf("reissued lease reused ID %s", l1.LeaseID)
+	}
+	pred := []int{1, 2, 3}
+	rep, err := c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred), TrainNS: 5})
+	if err != nil || rep.Status != StatusOK {
+		t.Fatalf("live completion: %+v, %v", rep, err)
+	}
+	res := <-done
+	if res.err != nil || len(res.pred) != 3 || res.pred[0] != 1 {
+		t.Fatalf("ExecuteCell returned %v, %v", res.pred, res.err)
+	}
+
+	// Zombie delivery with identical bytes: the losing side of
+	// first-durable-append-wins, acknowledged as a duplicate.
+	rep, err = c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred), TrainNS: 9})
+	if err != nil || rep.Status != StatusDuplicate {
+		t.Fatalf("zombie duplicate: %+v, %v", rep, err)
+	}
+	// Zombie delivery that contradicts the durable record: rejected.
+	bad := []int{9, 9, 9}
+	rep, err = c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.LeaseID, Key: "k1",
+		Pred: bad, Digest: obs.Digest(bad)})
+	if err != nil || rep.Status != StatusRejected {
+		t.Fatalf("contradicting duplicate: %+v, %v", rep, err)
+	}
+
+	recs, err := obs.Load(c.opts.Journal.Dir(), nil)
+	if err != nil || len(recs) != 1 || recs[0].Key != "k1" || recs[0].Digest != obs.Digest(pred) {
+		t.Fatalf("journal after races: %+v, %v (want exactly the first durable record)", recs, err)
+	}
+	if got := log.count(obs.KindCellFlowback, ""); got != 1 {
+		t.Fatalf("cell-flowback events = %d, want 1", got)
+	}
+	if got := log.count(obs.KindLeaseGrant, ""); got != 2 {
+		t.Fatalf("lease-grant events = %d, want 2", got)
+	}
+}
+
+// TestCorruptFlowbackRejectedAndReissued pins satellite #1 end to end: a
+// flowback whose predictions do not match its digest is refused — never
+// journaled — and the cell is reissued immediately; a later clean
+// delivery completes it.
+func TestCorruptFlowbackRejectedAndReissued(t *testing.T) {
+	clock := chaos.NewFake()
+	log := &eventLog{}
+	c := testCoord(t, clock, log, nil)
+	done := startCell(c, "k1")
+
+	l1 := leaseCell(t, c, "w1")
+	pred := []int{4, 5, 6}
+	rep, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.LeaseID, Key: "k1",
+		Pred: pred, Digest: "fnv1a:00000000deadbeef"}) // corrupted in flight
+	if err != nil || rep.Status != StatusRejected {
+		t.Fatalf("corrupt flowback: %+v, %v; want rejected", rep, err)
+	}
+	if recs, err := obs.Load(c.opts.Journal.Dir(), nil); err != nil || len(recs) != 0 {
+		t.Fatalf("corrupt flowback reached the journal: %+v, %v", recs, err)
+	}
+	if got := c.Stats(); got.Queued != 1 {
+		t.Fatalf("cell not immediately reissued after rejection: %+v", got)
+	}
+	if got := log.count(obs.KindLeaseReissue, "rejected"); got != 1 {
+		t.Fatalf("lease-reissue(rejected) events = %d, want 1", got)
+	}
+	if got := log.count(obs.KindJournalError, ""); got != 1 {
+		t.Fatalf("journal-error events = %d, want 1", got)
+	}
+
+	l2 := leaseCell(t, c, "w2")
+	rep, err = c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred)})
+	if err != nil || rep.Status != StatusOK {
+		t.Fatalf("clean redelivery: %+v, %v", rep, err)
+	}
+	res := <-done
+	if res.err != nil || len(res.pred) != 3 {
+		t.Fatalf("ExecuteCell returned %v, %v", res.pred, res.err)
+	}
+}
+
+// TestReleasedLeaseRequeuesImmediately: a cooperative release (worker
+// shutting down mid-cell) re-queues the cell with no backoff and burns
+// no attempt budget.
+func TestReleasedLeaseRequeuesImmediately(t *testing.T) {
+	clock := chaos.NewFake()
+	log := &eventLog{}
+	c := testCoord(t, clock, log, func(o *Options) { o.MaxAttempts = 1 })
+	done := startCell(c, "k1")
+
+	l1 := leaseCell(t, c, "w1")
+	rep, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.LeaseID, Key: "k1", Released: true})
+	if err != nil || rep.Status != StatusOK {
+		t.Fatalf("release: %+v, %v", rep, err)
+	}
+	if got := c.Stats(); got.Queued != 1 || got.Failed != 0 {
+		t.Fatalf("released cell state: %+v; want re-queued, not failed (even at MaxAttempts=1)", got)
+	}
+	if got := log.count(obs.KindLeaseReissue, "released"); got != 1 {
+		t.Fatalf("lease-reissue(released) events = %d, want 1", got)
+	}
+
+	l2 := leaseCell(t, c, "w2")
+	pred := []int{7}
+	if rep, err = c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred)}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("completion after release: %+v, %v", rep, err)
+	}
+	if res := <-done; res.err != nil {
+		t.Fatal(res.err)
+	}
+}
+
+// TestLeaseAttemptBudgetFailsTransient: when every lease of a cell
+// expires, the coordinator stops reissuing at MaxAttempts and fails the
+// cell with ErrLeaseExpired — which the experiment taxonomy classifies
+// transient, so a runner retry re-enqueues it with a fresh budget.
+func TestLeaseAttemptBudgetFailsTransient(t *testing.T) {
+	clock := chaos.NewFake()
+	c := testCoord(t, clock, nil, func(o *Options) { o.MaxAttempts = 2 })
+	done := startCell(c, "k1")
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		leaseCell(t, c, "w1")
+		waitFor(t, "the lease watcher to arm", func() bool { return clock.Waiters() >= 1 })
+		clock.Advance(10 * time.Second)
+		if attempt == 1 {
+			waitFor(t, "backoff", func() bool { return c.Stats().Backoff == 1 })
+			waitFor(t, "the backoff sleeper to arm", func() bool { return clock.Waiters() >= 1 })
+			clock.Advance(time.Second)
+			waitFor(t, "requeue", func() bool { return c.Stats().Queued == 1 })
+		}
+	}
+	res := <-done
+	if !errors.Is(res.err, experiment.ErrLeaseExpired) {
+		t.Fatalf("exhausted cell error %v, want ErrLeaseExpired", res.err)
+	}
+	if got := c.Stats(); got.Failed != 1 {
+		t.Fatalf("stats after exhaustion: %+v", got)
+	}
+
+	// A runner retry calls ExecuteCell again: fresh entry, fresh budget.
+	done = startCell(c, "k1")
+	l := leaseCell(t, c, "w2")
+	pred := []int{8, 9}
+	if rep, err := c.Complete(CompleteRequest{Worker: "w2", LeaseID: l.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred)}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("retry-cycle completion: %+v, %v", rep, err)
+	}
+	if res := <-done; res.err != nil || len(res.pred) != 2 {
+		t.Fatalf("retry cycle returned %v, %v", res.pred, res.err)
+	}
+}
+
+// TestWorkerErrorFlowback: a worker-reported permanent failure fails the
+// cell at once; a transient one reissues it with backoff.
+func TestWorkerErrorFlowback(t *testing.T) {
+	clock := chaos.NewFake()
+	log := &eventLog{}
+	c := testCoord(t, clock, log, nil)
+
+	done := startCell(c, "perm")
+	l := leaseCell(t, c, "w1")
+	rep, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l.LeaseID, Key: "perm",
+		ErrReason: experiment.ReasonConfig, ErrClass: string(experiment.ClassPermanent), ErrMsg: "unknown dataset"})
+	if err != nil || rep.Status != StatusOK {
+		t.Fatalf("permanent flowback: %+v, %v", rep, err)
+	}
+	res := <-done
+	if res.err == nil || !strings.Contains(res.err.Error(), "unknown dataset") {
+		t.Fatalf("permanent failure error = %v", res.err)
+	}
+	if errors.Is(res.err, experiment.ErrWorkerLost) {
+		t.Fatal("permanent worker failure must not classify as a transient lost worker")
+	}
+
+	done = startCell(c, "trans")
+	l = leaseCell(t, c, "w1")
+	if rep, err = c.Complete(CompleteRequest{Worker: "w1", LeaseID: l.LeaseID, Key: "trans",
+		ErrReason: experiment.ReasonPanic, ErrClass: string(experiment.ClassTransient), ErrMsg: "boom"}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("transient flowback: %+v, %v", rep, err)
+	}
+	waitFor(t, "transient failure to enter backoff", func() bool { return c.Stats().Backoff == 1 })
+	if got := log.count(obs.KindLeaseReissue, "worker-failed"); got != 1 {
+		t.Fatalf("lease-reissue(worker-failed) events = %d, want 1", got)
+	}
+	waitFor(t, "the backoff sleeper to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(time.Second)
+	l = leaseCell(t, c, "w2")
+	pred := []int{1}
+	if rep, err = c.Complete(CompleteRequest{Worker: "w2", LeaseID: l.LeaseID, Key: "trans",
+		Pred: pred, Digest: obs.Digest(pred)}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("recovery completion: %+v, %v", rep, err)
+	}
+	if res := <-done; res.err != nil {
+		t.Fatal(res.err)
+	}
+}
+
+// TestHeartbeatExtendsLease: heartbeats push the deadline, so a slow
+// cell outlives its original TTL; a stopped heartbeat lets it expire.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	clock := chaos.NewFake()
+	c := testCoord(t, clock, nil, nil)
+	startCell(c, "k1")
+
+	l := leaseCell(t, c, "w1") // TTL 10s
+	waitFor(t, "the lease watcher to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(6 * time.Second)
+	if rep, err := c.Heartbeat(HeartbeatRequest{Worker: "w1", LeaseID: l.LeaseID}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("heartbeat: %+v, %v", rep, err)
+	}
+	clock.Advance(6 * time.Second) // t=12s: past the original deadline, not the extended one
+	waitFor(t, "the watcher to re-arm on the pushed deadline", func() bool { return clock.Waiters() >= 1 })
+	if got := c.Stats(); got.Leased != 1 {
+		t.Fatalf("heartbeated lease expired early: %+v", got)
+	}
+	// Heartbeats stop (hung worker): the pushed deadline passes for real.
+	clock.Advance(4 * time.Second) // t=16s = 6s + TTL
+	waitFor(t, "the silent lease to expire", func() bool { return c.Stats().Backoff == 1 })
+	if rep, err := c.Heartbeat(HeartbeatRequest{Worker: "w1", LeaseID: l.LeaseID}); err != nil || rep.Status != StatusUnknown {
+		t.Fatalf("heartbeat on an expired lease: %+v, %v; want unknown", rep, err)
+	}
+}
+
+// TestFinishDrainsWorkers: after Finish, lease requests answer
+// StatusDone so idle workers exit.
+func TestFinishDrainsWorkers(t *testing.T) {
+	c := testCoord(t, chaos.NewFake(), nil, nil)
+	if rep, err := c.Lease(LeaseRequest{Worker: "w1"}); err != nil || rep.Status != StatusWait {
+		t.Fatalf("lease on an empty grid: %+v, %v", rep, err)
+	}
+	c.Finish()
+	if rep, err := c.Lease(LeaseRequest{Worker: "w1"}); err != nil || rep.Status != StatusDone {
+		t.Fatalf("lease after Finish: %+v, %v", rep, err)
+	}
+}
+
+// TestChaosFaultpoints: the dist.lease and dist.complete faultpoints
+// fire by label and surface as transport errors.
+func TestChaosFaultpoints(t *testing.T) {
+	defer chaos.Reset()
+	c := testCoord(t, chaos.NewFake(), nil, nil)
+	startCell(c, "k1")
+
+	chaos.Arm("dist.lease", "w1", chaos.Action{Err: chaos.ErrInjected, Times: 1})
+	if _, err := c.Lease(LeaseRequest{Worker: "w1"}); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("armed lease error = %v", err)
+	}
+	l := leaseCell(t, c, "w1") // second call: the fault was Times-limited
+
+	chaos.Arm("dist.complete", "k1", chaos.Action{Err: chaos.ErrInjected, Times: 1})
+	pred := []int{1, 2}
+	req := CompleteRequest{Worker: "w1", LeaseID: l.LeaseID, Key: "k1", Pred: pred, Digest: obs.Digest(pred)}
+	if _, err := c.Complete(req); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("armed complete error = %v", err)
+	}
+	// The failed completion never journaled: the cell is still owed, and
+	// the worker's redelivery lands it.
+	if recs, _ := obs.Load(c.opts.Journal.Dir(), nil); len(recs) != 0 {
+		t.Fatalf("failed completion reached the journal: %+v", recs)
+	}
+	if rep, err := c.Complete(req); err != nil || rep.Status != StatusOK {
+		t.Fatalf("redelivery after injected outage: %+v, %v", rep, err)
+	}
+}
+
+// cancelOnCell cancels a context the moment a cell is granted,
+// simulating SIGINT arriving just as a worker picks up work.
+type cancelOnCell struct {
+	Transport
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnCell) Lease(req LeaseRequest) (LeaseReply, error) {
+	rep, err := c.Transport.Lease(req)
+	if err == nil && rep.Status == StatusCell {
+		c.cancel()
+	}
+	return rep, err
+}
+
+// TestWorkerReleasesLeaseOnCancel: a worker cancelled mid-cell delivers
+// a Released completion — the cell re-enters the queue immediately and
+// another worker finishes it. No training happens on the cancelled
+// worker, so the test is clock-pure and fast.
+func TestWorkerReleasesLeaseOnCancel(t *testing.T) {
+	clock := chaos.NewFake()
+	log := &eventLog{}
+	c := testCoord(t, clock, log, nil)
+
+	// The cell key must be the one the worker's runner derives, or the
+	// worker reports configuration drift instead of training.
+	key := c.opts.Config.NewRunner().CellKey("pneumonialike", "base", "convnet", nil, 0)
+	done := startCellSpec(c, key, experiment.CellSpec{Dataset: "pneumonialike", Technique: "base", Arch: "convnet"})
+	// The clock is fake and nothing advances it here: the worker must see
+	// the queued cell on its first poll, or it idle-sleeps forever.
+	waitFor(t, "the cell to queue", func() bool { return c.Stats().Queued == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{ID: "doomed", Transport: &cancelOnCell{Transport: c, cancel: cancel}, Clock: clock}
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(ctx) }()
+
+	waitFor(t, "the cancelled worker to release its lease", func() bool {
+		return log.count(obs.KindLeaseReissue, "released") == 1
+	})
+	if err := <-runErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled worker returned %v", err)
+	}
+	if got := c.Stats(); got.Queued != 1 {
+		t.Fatalf("released cell not re-queued: %+v", got)
+	}
+
+	l := leaseCell(t, c, "healthy")
+	pred := []int{1, 2, 3}
+	if rep, err := c.Complete(CompleteRequest{Worker: "healthy", LeaseID: l.LeaseID, Key: key,
+		Pred: pred, Digest: obs.Digest(pred)}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("takeover completion: %+v, %v", rep, err)
+	}
+	if res := <-done; res.err != nil {
+		t.Fatal(res.err)
+	}
+}
+
+// TestWorkerReportsConfigDrift: a worker whose locally derived cell key
+// disagrees with the coordinator's refuses to train the wrong cell and
+// reports a permanent configuration failure.
+func TestWorkerReportsConfigDrift(t *testing.T) {
+	clock := chaos.NewFake()
+	c := testCoord(t, clock, nil, nil)
+	done := startCellSpec(c, "not|the|real|key",
+		experiment.CellSpec{Dataset: "pneumonialike", Technique: "base", Arch: "convnet"})
+	// As above: the worker must not poll an empty queue, or it sleeps on
+	// a fake clock nobody advances.
+	waitFor(t, "the cell to queue", func() bool { return c.Stats().Queued == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{ID: "w1", Transport: c, Clock: clock}
+	go w.Run(ctx) //nolint — exits via cancel below
+
+	res := <-done
+	if res.err == nil || !strings.Contains(res.err.Error(), "configuration drift") {
+		t.Fatalf("drift error = %v", res.err)
+	}
+	cancel()
+}
+
+// TestRunConfigRoundTrip pins that ConfigFromRunner → NewRunner
+// reproduces every result-affecting knob, including defaults the
+// constructor applies (CleanFrac).
+func TestRunConfigRoundTrip(t *testing.T) {
+	r := experiment.NewRunner(datagen.ScaleTiny, 7, 2)
+	r.EpochOverride = 3
+	r.WidthMult = 1.5
+	r.Retries = 2
+	got := ConfigFromRunner(r).NewRunner()
+	if got.Scale != r.Scale || got.Seed != r.Seed || got.Reps != r.Reps ||
+		got.EpochOverride != r.EpochOverride || got.WidthMult != r.WidthMult ||
+		got.CleanFrac != r.CleanFrac || got.Retries != r.Retries {
+		t.Fatalf("round-tripped runner %+v differs from %+v", got, r)
+	}
+	key := r.CellKey("pneumonialike", "ls", "convnet", []experiment.FaultSpec{{Type: faultinject.Remove, Rate: 0.3}}, 0)
+	if got.CellKey("pneumonialike", "ls", "convnet", []experiment.FaultSpec{{Type: faultinject.Remove, Rate: 0.3}}, 0) != key {
+		t.Fatal("round-tripped runner derives a different cell key")
+	}
+}

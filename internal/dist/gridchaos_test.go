@@ -1,0 +1,353 @@
+package dist
+
+// The grid-chaos acceptance gate: a full distributed run on a fake
+// clock, with one worker killed mid-cell and one partitioned past its
+// lease deadline, must export a CSV bitwise-identical to a
+// single-process run — with zero wall-clock sleeps. `make grid-chaos`
+// runs this file under -race.
+
+import (
+	"context"
+	"fmt"
+	"maps"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+	"tdfm/internal/faultinject"
+	"tdfm/internal/obs"
+)
+
+// gridEpochs is the per-cell epoch count for the acceptance grid:
+// TDFM_GRID_SHORT=1 (the CI smoke) trains a single epoch.
+func gridEpochs() int {
+	if os.Getenv("TDFM_GRID_SHORT") == "1" {
+		return 1
+	}
+	return 2
+}
+
+// gridRunner builds the acceptance grid's runner: the tiny regression
+// grid resume_test.go uses, at gridEpochs.
+func gridRunner() *experiment.Runner {
+	r := experiment.NewRunner(datagen.ScaleTiny, 1, 1)
+	r.EpochOverride = gridEpochs()
+	return r
+}
+
+// gridCSV runs the acceptance grid (every Remove-applicable technique
+// at one rate) and exports its CSV. Errors are returned, not fataled,
+// so the driver can run off the test goroutine.
+func gridCSV(r *experiment.Runner) (string, error) {
+	p, err := r.RunPanel("pneumonialike", "convnet", faultinject.Remove, []float64{0.3})
+	if err != nil {
+		return "", err
+	}
+	fig := &experiment.Figure3Result{FaultType: faultinject.Remove, Panels: []*experiment.Panel{p}}
+	var csv strings.Builder
+	if err := fig.Table().WriteCSV(&csv); err != nil {
+		return "", err
+	}
+	return csv.String(), nil
+}
+
+// localGrid runs the single-process reference: the grid trained and
+// journaled locally. Returns its CSV and journal key→digest map.
+func localGrid(t *testing.T) (string, map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := obs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := gridRunner()
+	r.Journal = j
+	csv, err := gridCSV(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return csv, journalDigests(t, dir)
+}
+
+// journalDigests maps each journaled cell key to its digest and
+// prediction count — the identity a distributed journal must share
+// with a local one.
+func journalDigests(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	recs, err := obs.Load(dir, func(line int, err error) { t.Errorf("journal warning on line %d: %v", line, err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(recs))
+	for _, rec := range recs {
+		out[rec.Key] = fmt.Sprintf("%s n=%d", rec.Digest, rec.N)
+	}
+	return out
+}
+
+// busyTransport counts in-flight leased cells so the clock pump knows
+// when advancing the fake clock is safe: a grant increments before the
+// reply is even seen (closing the grant→deliver race), and the
+// matching Complete decrements.
+type busyTransport struct {
+	inner Transport
+	busy  atomic.Int64
+}
+
+func (b *busyTransport) Lease(req LeaseRequest) (LeaseReply, error) {
+	b.busy.Add(1)
+	rep, err := b.inner.Lease(req)
+	if err != nil || rep.Status != StatusCell {
+		b.busy.Add(-1)
+	}
+	return rep, err
+}
+
+func (b *busyTransport) Complete(req CompleteRequest) (CompleteReply, error) {
+	rep, err := b.inner.Complete(req)
+	b.busy.Add(-1)
+	return rep, err
+}
+
+func (b *busyTransport) Heartbeat(req HeartbeatRequest) (HeartbeatReply, error) {
+	return b.inner.Heartbeat(req)
+}
+
+// pump advances the fake clock by one second whenever no leased cell
+// is in flight and something is waiting on the clock — lease expiry
+// watchers, reissue backoffs, worker idle sleeps. Training time never
+// overlaps an advance, so healthy leases cannot spuriously expire, yet
+// every protocol timer elapses without a single wall-clock sleep.
+func pump(clock *chaos.FakeClock, bt *busyTransport, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if bt.busy.Load() == 0 && clock.Waiters() > 0 {
+			clock.Advance(time.Second)
+		}
+		runtime.Gosched()
+	}
+}
+
+// gridResult carries the driver's outcome off its goroutine.
+type gridResult struct {
+	csv string
+	err error
+}
+
+// TestGridChaos is the acceptance gate from the issue: N workers over
+// the in-process transport, one killed mid-cell (leases, then
+// vanishes), one partitioned past its lease deadline (leases, then
+// goes silent and later delivers a zombie completion). The surviving
+// worker drains the whole grid via reissue; the exported CSV and the
+// journal are bitwise-identical to the single-process run. The clock
+// is fake throughout: no wall-clock sleeps, run under -race.
+func TestGridChaos(t *testing.T) {
+	localCSV, localDigests := localGrid(t)
+
+	clock := chaos.NewFake()
+	log := &eventLog{}
+	distDir := t.TempDir()
+	j, err := obs.Open(distDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c, err := NewCoordinator(Options{
+		Journal:     j,
+		Config:      ConfigFromRunner(gridRunner()),
+		Clock:       clock,
+		Sink:        log,
+		LeaseTTL:    10 * time.Second,
+		ReissueBase: time.Second,
+		ReissueMax:  8 * time.Second,
+		LeaseRetry:  time.Second,
+		MaxAttempts: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	driver := gridRunner()
+	driver.Remote = c
+	driver.Workers = 6
+	driverRes := make(chan gridResult, 1)
+	go func() {
+		csv, err := gridCSV(driver)
+		driverRes <- gridResult{csv, err}
+	}()
+
+	// Two casualties lease a cell each before the healthy worker starts.
+	// w2 is killed mid-cell: it never completes and never heartbeats.
+	// w3 is partitioned: same silence, but it survives to deliver a
+	// zombie completion after the grid has moved on.
+	waitFor(t, "the driver to queue cells", func() bool { return c.Stats().Queued >= 2 })
+	leaseCell(t, c, "w2")
+	l3 := leaseCell(t, c, "w3")
+
+	bt := &busyTransport{inner: c}
+	w1 := &Worker{ID: "w1", Transport: bt, Clock: clock}
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	wErr := make(chan error, 1)
+	go func() { wErr <- w1.Run(wctx) }()
+	stopPump := make(chan struct{})
+	defer func() {
+		select {
+		case <-stopPump:
+		default:
+			close(stopPump)
+		}
+	}()
+	go pump(clock, bt, stopPump)
+
+	res := <-driverRes
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	c.Finish()
+	if err := <-wErr; err != nil {
+		t.Fatalf("healthy worker exited with %v", err)
+	}
+	close(stopPump)
+
+	// The zombie w3 finally delivers its copy of the cell another worker
+	// already landed. First-durable-append-wins: the journal-verified
+	// record stands and the zombie is told so.
+	distDigests := journalDigests(t, distDir)
+	recs, err := obs.Load(distDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zombiePred []int
+	var zombieDigest string
+	for _, rec := range recs {
+		if rec.Key == l3.Key {
+			zombieDigest = rec.Digest
+			if zombiePred, err = obs.LoadPred(distDir, rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if zombiePred == nil {
+		t.Fatalf("partitioned cell %q never flowed back", l3.Key)
+	}
+	rep, err := c.Complete(CompleteRequest{Worker: "w3", LeaseID: l3.LeaseID, Key: l3.Key,
+		Pred: zombiePred, Digest: zombieDigest})
+	if err != nil || rep.Status != StatusDuplicate {
+		t.Fatalf("zombie completion answered (%+v, %v), want StatusDuplicate", rep, err)
+	}
+
+	// Exactly the two dead leases expired and were reissued; every cell
+	// flowed back durably exactly once; the only extra grants are the
+	// two that died.
+	if got := log.count(obs.KindLeaseExpire, ""); got != 2 {
+		t.Errorf("lease-expire events = %d, want 2", got)
+	}
+	if got := log.count(obs.KindWorkerLost, ""); got != 2 {
+		t.Errorf("worker-lost events = %d, want 2", got)
+	}
+	if got := log.count(obs.KindLeaseReissue, "expired"); got != 2 {
+		t.Errorf("lease-reissue(expired) events = %d, want 2", got)
+	}
+	if got := log.count(obs.KindWorkerJoin, ""); got != 3 {
+		t.Errorf("worker-join events = %d, want 3", got)
+	}
+	flow := log.count(obs.KindCellFlowback, "")
+	if flow != len(localDigests) {
+		t.Errorf("cell-flowback events = %d, want %d (one per grid cell)", flow, len(localDigests))
+	}
+	if got := log.count(obs.KindLeaseGrant, ""); got != flow+2 {
+		t.Errorf("lease-grant events = %d, want %d (every cell once, plus the two dead leases)", got, flow+2)
+	}
+
+	// The distributed run is indistinguishable from the local one: same
+	// CSV bytes, same journal identity.
+	if res.csv != localCSV {
+		t.Errorf("distributed CSV differs from single-process run:\n%s\nvs\n%s", res.csv, localCSV)
+	}
+	if !maps.Equal(distDigests, localDigests) {
+		t.Errorf("distributed journal %v differs from local %v", distDigests, localDigests)
+	}
+}
+
+// TestWorkerCountInvariance pins schedule-independence end to end:
+// fleets of 1, 2, and 5 workers (and the single-process reference) all
+// export byte-identical CSVs and journal identical digests, because
+// cell randomness is keyed, never ordered.
+func TestWorkerCountInvariance(t *testing.T) {
+	localCSV, localDigests := localGrid(t)
+
+	for _, n := range []int{1, 2, 5} {
+		clock := chaos.NewFake()
+		dir := t.TempDir()
+		j, err := obs.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCoordinator(Options{
+			Journal:  j,
+			Config:   ConfigFromRunner(gridRunner()),
+			Clock:    clock,
+			LeaseTTL: 10 * time.Second, ReissueBase: time.Second,
+			ReissueMax: 8 * time.Second, LeaseRetry: time.Second, MaxAttempts: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		driver := gridRunner()
+		driver.Remote = c
+		driver.Workers = 6
+		driverRes := make(chan gridResult, 1)
+		go func() {
+			csv, err := gridCSV(driver)
+			driverRes <- gridResult{csv, err}
+		}()
+
+		bt := &busyTransport{inner: c}
+		ctx, cancel := context.WithCancel(context.Background())
+		wErr := make(chan error, n)
+		for i := 0; i < n; i++ {
+			w := &Worker{ID: fmt.Sprintf("w%d", i+1), Transport: bt, Clock: clock}
+			go func() { wErr <- w.Run(ctx) }()
+		}
+		stopPump := make(chan struct{})
+		go pump(clock, bt, stopPump)
+
+		res := <-driverRes
+		if res.err != nil {
+			t.Fatalf("workers=%d: %v", n, res.err)
+		}
+		c.Finish()
+		for i := 0; i < n; i++ {
+			if err := <-wErr; err != nil {
+				t.Fatalf("workers=%d: worker exited with %v", n, err)
+			}
+		}
+		close(stopPump)
+		cancel()
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if res.csv != localCSV {
+			t.Errorf("workers=%d: CSV differs from single-process run:\n%s\nvs\n%s", n, res.csv, localCSV)
+		}
+		if got := journalDigests(t, dir); !maps.Equal(got, localDigests) {
+			t.Errorf("workers=%d: journal %v differs from local %v", n, got, localDigests)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"tdfm/internal/datagen"
+	"tdfm/internal/experiment"
+)
+
+// RunConfig pins every runner knob that affects results. The coordinator
+// is authoritative: it sends its RunConfig with every lease, and workers
+// build their local runner from it rather than from their own flags, so
+// a fleet cannot silently mix configurations. Every field round-trips
+// exactly through JSON (integers and float64s), which is what keeps a
+// distributed run byte-identical to a local one.
+type RunConfig struct {
+	// Scale selects dataset sizes (datagen tiers).
+	Scale datagen.Scale `json:"scale"`
+	// Seed is the root experiment seed.
+	Seed uint64 `json:"seed"`
+	// Reps is the repetitions per configuration.
+	Reps int `json:"reps"`
+	// EpochOverride replaces per-architecture epoch counts when > 0.
+	EpochOverride int `json:"epoch_override"`
+	// WidthMult scales model channel widths when > 0.
+	WidthMult float64 `json:"width_mult"`
+	// CleanFrac is the clean-subset reservation fraction (0 means the
+	// runner default).
+	CleanFrac float64 `json:"clean_frac"`
+	// Retries is the worker-local transient-retry budget per cell.
+	Retries int `json:"retries"`
+}
+
+// NewRunner builds an experiment runner from a coordinator-sent
+// configuration. Workers call it on their first lease; the returned
+// runner still needs process-local fields (Workers, Ctx, Progress) set
+// by the caller.
+func (c RunConfig) NewRunner() *experiment.Runner {
+	r := experiment.NewRunner(c.Scale, c.Seed, c.Reps)
+	r.EpochOverride = c.EpochOverride
+	r.WidthMult = c.WidthMult
+	if c.CleanFrac > 0 {
+		r.CleanFrac = c.CleanFrac
+	}
+	r.Retries = c.Retries
+	return r
+}
+
+// ConfigFromRunner snapshots a runner's result-affecting knobs as the
+// coordinator's authoritative RunConfig. Snapshotting from the live
+// runner (after its defaults applied — CleanFrac in particular) keeps
+// worker-journaled flowback records field-identical to what the same
+// runner would journal locally, so a distributed journal resumes under
+// the same runner configuration without mismatches.
+func ConfigFromRunner(r *experiment.Runner) RunConfig {
+	return RunConfig{
+		Scale:         r.Scale,
+		Seed:          r.Seed,
+		Reps:          r.Reps,
+		EpochOverride: r.EpochOverride,
+		WidthMult:     r.WidthMult,
+		CleanFrac:     r.CleanFrac,
+		Retries:       r.Retries,
+	}
+}
+
+// Lease-reply statuses.
+const (
+	// StatusCell carries a leased cell to work on.
+	StatusCell = "cell"
+	// StatusWait means no cell is currently available; retry after the
+	// reply's RetryNS.
+	StatusWait = "wait"
+	// StatusDone means the grid is complete; the worker should exit.
+	StatusDone = "done"
+)
+
+// Complete-reply statuses.
+const (
+	// StatusOK acknowledges a completion whose record was durably
+	// appended (or a released lease returned to the queue).
+	StatusOK = "ok"
+	// StatusDuplicate acknowledges a completion for a cell that was
+	// already durably recorded with the same digest — the losing side of
+	// a first-durable-append-wins race. The worker treats it as success.
+	StatusDuplicate = "duplicate"
+	// StatusRejected refuses a completion whose record failed digest
+	// re-verification (or contradicts the durable record); the cell is
+	// reissued rather than journaled.
+	StatusRejected = "rejected"
+	// StatusUnknown answers a completion or heartbeat for a cell or
+	// lease the coordinator does not know.
+	StatusUnknown = "unknown"
+)
+
+// LeaseRequest asks the coordinator for a cell to train.
+type LeaseRequest struct {
+	// Worker identifies the requesting worker (stable per process).
+	Worker string `json:"worker"`
+}
+
+// LeaseReply answers a LeaseRequest.
+type LeaseReply struct {
+	// Status is StatusCell, StatusWait, or StatusDone.
+	Status string `json:"status"`
+	// LeaseID names the granted lease (StatusCell only).
+	LeaseID string `json:"lease_id,omitempty"`
+	// Key is the cell key the coordinator computed; workers re-derive it
+	// locally and refuse mismatches (configuration drift detection).
+	Key string `json:"key,omitempty"`
+	// Spec is the leased cell (StatusCell only).
+	Spec experiment.CellSpec `json:"spec,omitempty"`
+	// Config is the coordinator's authoritative run configuration.
+	Config RunConfig `json:"config,omitempty"`
+	// TTLNS is the lease duration in nanoseconds: the completion or a
+	// heartbeat must arrive within it or the cell is reissued.
+	TTLNS int64 `json:"ttl_ns,omitempty"`
+	// HeartbeatNS is the suggested heartbeat interval in nanoseconds.
+	HeartbeatNS int64 `json:"heartbeat_ns,omitempty"`
+	// RetryNS is the suggested retry delay for StatusWait, in nanoseconds.
+	RetryNS int64 `json:"retry_ns,omitempty"`
+}
+
+// CompleteRequest delivers the outcome of a leased cell: predictions on
+// success, a classified error on failure, or a released lease when the
+// worker is shutting down cooperatively mid-grid.
+type CompleteRequest struct {
+	// Worker and LeaseID identify the delivery.
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+	// Key is the completed cell's key.
+	Key string `json:"key"`
+	// Released, when true, returns the lease without a result (SIGINT
+	// mid-cell): the cell re-enters the queue immediately.
+	Released bool `json:"released,omitempty"`
+	// Pred is the cell's test-set predictions (success only).
+	Pred []int `json:"pred,omitempty"`
+	// Digest is the worker-computed prediction digest (obs.Digest); the
+	// coordinator re-verifies it before journaling.
+	Digest string `json:"digest,omitempty"`
+	// TrainNS is the worker's training wall-clock in nanoseconds.
+	TrainNS int64 `json:"train_ns,omitempty"`
+	// ErrReason, ErrClass, and ErrMsg report a failed cell (the worker's
+	// classified CellError); empty on success.
+	ErrReason string `json:"err_reason,omitempty"`
+	ErrClass  string `json:"err_class,omitempty"`
+	ErrMsg    string `json:"err_msg,omitempty"`
+}
+
+// CompleteReply answers a CompleteRequest.
+type CompleteReply struct {
+	// Status is StatusOK, StatusDuplicate, StatusRejected, or
+	// StatusUnknown.
+	Status string `json:"status"`
+	// Detail explains rejections.
+	Detail string `json:"detail,omitempty"`
+}
+
+// HeartbeatRequest extends a lease while its cell is still training.
+type HeartbeatRequest struct {
+	// Worker and LeaseID identify the lease to extend.
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatReply answers a HeartbeatRequest.
+type HeartbeatReply struct {
+	// Status is StatusOK when the lease was extended, StatusUnknown when
+	// it no longer exists (expired and reissued; the worker has become a
+	// zombie and its eventual completion will be resolved by the
+	// first-durable-append-wins rule).
+	Status string `json:"status"`
+}
+
+// Transport is the worker's view of the coordinator protocol. The
+// *Coordinator itself implements it (in-process fleets and tests), and
+// HTTPTransport implements it over the wire. Transport errors are
+// retried by the worker with jittered backoff; implementations wrap
+// experiment.ErrCoordinatorUnreachable so the failures classify as
+// transient.
+type Transport interface {
+	// Lease requests a cell.
+	Lease(LeaseRequest) (LeaseReply, error)
+	// Complete delivers a cell outcome.
+	Complete(CompleteRequest) (CompleteReply, error)
+	// Heartbeat extends a lease.
+	Heartbeat(HeartbeatRequest) (HeartbeatReply, error)
+}

@@ -1,0 +1,288 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/experiment"
+	"tdfm/internal/obs"
+	"tdfm/internal/xrand"
+)
+
+// Worker transport-failure defaults (overridable on the struct).
+const (
+	// DefaultOutageBackoff is the first retry delay after a failed
+	// coordinator call; it doubles per consecutive failure up to
+	// DefaultOutageBackoffMax, with jitter.
+	DefaultOutageBackoff = 500 * time.Millisecond
+	// DefaultOutageBackoffMax caps the outage backoff.
+	DefaultOutageBackoffMax = 15 * time.Second
+	// DefaultMaxOutage is how many consecutive failed coordinator calls a
+	// worker rides out before giving up and exiting with an error.
+	DefaultMaxOutage = 8
+)
+
+// Worker leases cells from a coordinator, trains them with a local
+// experiment runner built from the coordinator's authoritative
+// configuration, and delivers the results. It survives coordinator
+// outages with jittered exponential backoff, heartbeats long cells so
+// its leases stay alive, and shuts down cooperatively on context
+// cancellation mid-cell by returning the lease (the cell re-enters the
+// queue immediately instead of waiting out the lease deadline).
+type Worker struct {
+	// ID identifies this worker to the coordinator (stable per process).
+	ID string
+	// Transport reaches the coordinator: the *Coordinator itself
+	// in-process, or an HTTPTransport over the wire.
+	Transport Transport
+	// Clock injects time for backoff and heartbeats; nil means the wall
+	// clock.
+	Clock chaos.Clock
+	// Workers is the local runner's training pool size (0 means the
+	// runner default).
+	Workers int
+	// Progress and Sink, when non-nil, are installed on the local runner.
+	Progress io.Writer
+	Sink     obs.Sink
+	// Backoff, BackoffMax, and MaxOutage override the transport-failure
+	// defaults when > 0.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	MaxOutage  int
+
+	runner *experiment.Runner
+	rng    *xrand.RNG
+}
+
+func (w *Worker) clock() chaos.Clock {
+	if w.Clock == nil {
+		return chaos.Wall()
+	}
+	return w.Clock
+}
+
+func (w *Worker) maxOutage() int {
+	if w.MaxOutage > 0 {
+		return w.MaxOutage
+	}
+	return DefaultMaxOutage
+}
+
+// jitter spreads d over [d/2, d) so a fleet of workers retrying the same
+// outage does not stampede the coordinator in lockstep. The randomness
+// is seeded from the worker ID: it shapes timing only, never results.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	if w.rng == nil {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(w.ID))
+		w.rng = xrand.New(h.Sum64())
+	}
+	return d/2 + time.Duration(w.rng.Float64()*float64(d/2))
+}
+
+// outageBackoff is the base delay before retry n (1-based) of a failed
+// coordinator call: exponential from Backoff, capped at BackoffMax.
+func (w *Worker) outageBackoff(n int) time.Duration {
+	base, maxd := w.Backoff, w.BackoffMax
+	if base <= 0 {
+		base = DefaultOutageBackoff
+	}
+	if maxd <= 0 {
+		maxd = DefaultOutageBackoffMax
+	}
+	d := base
+	for i := 1; i < n && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	return d
+}
+
+// sleep blocks for d on the worker's clock, returning early with the
+// context's error if cancelled.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := w.clock().NewTimer(d)
+	select {
+	case <-t.C():
+		return nil
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	}
+}
+
+// Run leases and trains cells until the coordinator reports the grid
+// done (returns nil), the context is cancelled (returns the context's
+// error, after releasing any held lease), or the coordinator stays
+// unreachable past the outage budget (returns the transport error).
+func (w *Worker) Run(ctx context.Context) error {
+	if w.ID == "" || w.Transport == nil {
+		return fmt.Errorf("dist: worker requires an ID and a Transport")
+	}
+	outage := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rep, err := w.Transport.Lease(LeaseRequest{Worker: w.ID})
+		if err != nil {
+			outage++
+			if outage >= w.maxOutage() {
+				return fmt.Errorf("dist: worker %s: giving up after %d consecutive failed coordinator calls: %w", w.ID, outage, err)
+			}
+			if serr := w.sleep(ctx, w.jitter(w.outageBackoff(outage))); serr != nil {
+				return serr
+			}
+			continue
+		}
+		outage = 0
+		switch rep.Status {
+		case StatusDone:
+			return nil
+		case StatusWait:
+			if serr := w.sleep(ctx, w.jitter(time.Duration(rep.RetryNS))); serr != nil {
+				return serr
+			}
+		case StatusCell:
+			if err := w.runCell(ctx, rep); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: worker %s: coordinator sent unknown lease status %q", w.ID, rep.Status)
+		}
+	}
+}
+
+// ensureRunner builds the worker's local runner from the coordinator's
+// configuration on the first leased cell and reuses it afterwards (the
+// coordinator's RunConfig is constant across a run, so one runner — and
+// its memo cache — serves every lease).
+func (w *Worker) ensureRunner(ctx context.Context, cfg RunConfig) *experiment.Runner {
+	if w.runner == nil {
+		r := cfg.NewRunner()
+		r.Workers = w.Workers
+		r.Ctx = ctx
+		r.Progress = w.Progress
+		r.Sink = w.Sink
+		w.runner = r
+	}
+	return w.runner
+}
+
+// runCell trains one leased cell and delivers its outcome. Cancellation
+// mid-cell releases the lease (Released completion) so the coordinator
+// re-queues the cell immediately; training failures flow back with the
+// runner's classified reason and class so the coordinator can decide
+// between reissue and permanent failure.
+func (w *Worker) runCell(ctx context.Context, lease LeaseReply) error {
+	r := w.ensureRunner(ctx, lease.Config)
+	spec := lease.Spec
+	req := CompleteRequest{Worker: w.ID, LeaseID: lease.LeaseID, Key: lease.Key}
+
+	// Re-derive the cell key locally: a mismatch means this worker binary
+	// disagrees with the coordinator about what the spec trains
+	// (configuration drift) — report it permanent rather than training the
+	// wrong cell.
+	if key := r.CellKey(spec.Dataset, spec.Technique, spec.Arch, spec.Specs, spec.Rep); key != lease.Key {
+		req.ErrReason = experiment.ReasonConfig
+		req.ErrClass = string(experiment.ClassPermanent)
+		req.ErrMsg = fmt.Sprintf("worker derives key %q for the leased spec, coordinator sent %q (configuration drift)", key, lease.Key)
+		return w.deliver(ctx, req)
+	}
+
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go w.heartbeatLoop(lease.LeaseID, time.Duration(lease.HeartbeatNS), stop, hbDone) //tdfm:allow nodeterminism heartbeat ticks on the injected chaos.Clock and carries no results
+
+	pred, dur, err := r.Predictions(spec.Dataset, spec.Technique, spec.Arch, spec.Specs, spec.Rep)
+	close(stop)
+	<-hbDone
+
+	switch {
+	case err == nil:
+		req.Pred = pred
+		req.Digest = obs.Digest(pred)
+		req.TrainNS = dur.Nanoseconds()
+	case experiment.IsCancelled(err):
+		// Cooperative shutdown mid-cell: return the lease so another
+		// worker picks the cell up immediately.
+		req.Released = true
+	default:
+		var ce *experiment.CellError
+		if errors.As(err, &ce) {
+			req.ErrReason = ce.Reason
+			req.ErrClass = string(ce.Class)
+			req.ErrMsg = ce.Err.Error()
+		} else {
+			req.ErrReason = experiment.ReasonConfig
+			req.ErrClass = string(experiment.ClassPermanent)
+			req.ErrMsg = err.Error()
+		}
+	}
+	if derr := w.deliver(ctx, req); derr != nil {
+		return derr
+	}
+	if req.Released {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// heartbeatLoop extends the lease every interval until stopped. A
+// StatusUnknown reply means the lease already expired — this worker is a
+// zombie for the cell — so heartbeating stops and the eventual delivery
+// resolves under the first-durable-append-wins rule. Transport errors
+// are ignored: the completion retry path owns outage handling.
+func (w *Worker) heartbeatLoop(leaseID string, every time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	if every <= 0 {
+		return
+	}
+	for {
+		t := w.clock().NewTimer(every)
+		select {
+		case <-t.C():
+		case <-stop:
+			t.Stop()
+			return
+		}
+		rep, err := w.Transport.Heartbeat(HeartbeatRequest{Worker: w.ID, LeaseID: leaseID})
+		if err == nil && rep.Status == StatusUnknown {
+			return
+		}
+	}
+}
+
+// deliver pushes a completion at the coordinator until any reply arrives
+// (every status — ok, duplicate, rejected, unknown — resolves the
+// delivery; rejected cells are the coordinator's to reissue). The first
+// attempt runs even under a cancelled context so a released lease still
+// reaches the coordinator during shutdown; afterwards transport failures
+// retry with jittered backoff up to the outage budget — if that too is
+// exhausted, the lease deadline is the backstop: the coordinator will
+// expire and reissue the cell.
+func (w *Worker) deliver(ctx context.Context, req CompleteRequest) error {
+	for attempt := 1; ; attempt++ {
+		if _, err := w.Transport.Complete(req); err == nil {
+			return nil
+		} else if attempt >= w.maxOutage() {
+			return fmt.Errorf("dist: worker %s: undeliverable completion for %s after %d attempts: %w", w.ID, req.Key, attempt, err)
+		}
+		if serr := w.sleep(ctx, w.jitter(w.outageBackoff(attempt))); serr != nil {
+			return serr
+		}
+	}
+}

@@ -47,6 +47,30 @@ const (
 	ReasonTimeout = "timeout"
 	// ReasonCancelled is a cell stopped by run-level cancellation.
 	ReasonCancelled = "cancelled"
+	// ReasonNet is a distributed-grid network failure: an expired cell
+	// lease, an unreachable coordinator, or a lost worker. All are
+	// transient — the cell itself is fine, only its transport failed — so
+	// a reissued lease (or a local retry) trains it byte-identically.
+	ReasonNet = "net"
+)
+
+// Network sentinels of the distributed experiment grid. They live here —
+// not in internal/dist — so the error taxonomy can classify them without
+// an import cycle (dist imports experiment for the runner and cell
+// specs). internal/dist wraps them with %w; match with errors.Is.
+var (
+	// ErrLeaseExpired marks a cell whose lease deadline passed without a
+	// completion: the holding worker crashed, hung, or stopped
+	// heartbeating, and the coordinator's reissue budget ran out.
+	ErrLeaseExpired = errors.New("experiment: cell lease expired")
+	// ErrCoordinatorUnreachable marks a worker-side transport failure
+	// talking to the grid coordinator (refused connection, torn response,
+	// non-OK status).
+	ErrCoordinatorUnreachable = errors.New("experiment: coordinator unreachable")
+	// ErrWorkerLost marks a cell abandoned by its worker: the worker
+	// reported a transient failure (or vanished) and the coordinator's
+	// reissue budget ran out before another worker completed the cell.
+	ErrWorkerLost = errors.New("experiment: worker lost")
 )
 
 // CellError is the structured failure of one experiment cell: what failed
@@ -93,6 +117,10 @@ func classifyCellError(key string, attempts int, err error) *CellError {
 		ce.Reason, ce.Class = ReasonTimeout, ClassTransient
 	case errors.Is(err, context.Canceled):
 		ce.Reason, ce.Class = ReasonCancelled, ClassCancelled
+	case errors.Is(err, ErrLeaseExpired),
+		errors.Is(err, ErrCoordinatorUnreachable),
+		errors.Is(err, ErrWorkerLost):
+		ce.Reason, ce.Class = ReasonNet, ClassTransient
 	case errors.Is(err, chaos.ErrInjected):
 		ce.Reason, ce.Class = ReasonIO, ClassTransient
 	default:

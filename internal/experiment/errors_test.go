@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tdfm/internal/chaos"
+	"tdfm/internal/core"
+	"tdfm/internal/parallel"
+)
+
+// TestClassifyCellErrorTaxonomy pins the sentinel→(reason, class)
+// mapping of the engine's error taxonomy, including the distributed
+// grid's network sentinels: a dead lease, coordinator, or worker is a
+// transport problem, never a cell problem, so it classifies transient
+// and the cell retrains byte-identically under a reissued lease.
+func TestClassifyCellErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		reason string
+		class  ErrorClass
+	}{
+		{"panic", fmt.Errorf("cell: %w", parallel.AsPanicError("boom")), ReasonPanic, ClassTransient},
+		{"divergence", fmt.Errorf("trainer: %w", core.ErrDiverged), ReasonDivergence, ClassTransient},
+		{"timeout", fmt.Errorf("cell: %w", context.DeadlineExceeded), ReasonTimeout, ClassTransient},
+		{"cancelled", fmt.Errorf("run: %w", context.Canceled), ReasonCancelled, ClassCancelled},
+		{"lease expired", fmt.Errorf("dist: attempts exhausted: %w", ErrLeaseExpired), ReasonNet, ClassTransient},
+		{"coordinator unreachable", fmt.Errorf("dist: /lease: %w: connection refused", ErrCoordinatorUnreachable), ReasonNet, ClassTransient},
+		{"worker lost", fmt.Errorf("dist: reissue budget spent: %w", ErrWorkerLost), ReasonNet, ClassTransient},
+		{"injected fault", fmt.Errorf("chaos: %w", chaos.ErrInjected), ReasonIO, ClassTransient},
+		{"unknown", errors.New("no such dataset"), ReasonConfig, ClassPermanent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ce := classifyCellError("k", 2, tc.err)
+			if ce.Reason != tc.reason || ce.Class != tc.class {
+				t.Fatalf("classify(%v) = (%s, %s), want (%s, %s)", tc.err, ce.Reason, ce.Class, tc.reason, tc.class)
+			}
+			if ce.Key != "k" || ce.Attempts != 2 || !errors.Is(ce, tc.err) {
+				t.Fatalf("CellError lost context: %+v", ce)
+			}
+		})
+	}
+}
+
+// delegatingExec is a CellExecutor backed by another runner's local
+// training — the in-process shape of the distributed grid coordinator.
+type delegatingExec struct {
+	backing *Runner
+	calls   int
+	err     error // returned instead of training when non-nil
+}
+
+func (d *delegatingExec) ExecuteCell(key string, spec CellSpec) ([]int, time.Duration, error) {
+	d.calls++
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return d.backing.Predictions(spec.Dataset, spec.Technique, spec.Arch, spec.Specs, spec.Rep)
+}
+
+// TestRemoteExecutorDelegates pins the Runner.Remote seam: with a remote
+// executor installed, every uncached cell goes through it, the results
+// are byte-identical to local training, memoization still collapses
+// repeat calls, and the runner's own journal append is skipped — the
+// executor (the coordinator, in the distributed grid) owns durable
+// recording.
+func TestRemoteExecutorDelegates(t *testing.T) {
+	local := fastRunner(1)
+	want, _, err := local.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec := &delegatingExec{backing: fastRunner(1)}
+	r := fastRunner(1)
+	r.Remote = exec
+	got, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("remote predictions length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("remote prediction %d = %d, want %d (remote execution must be byte-identical)", i, got[i], want[i])
+		}
+	}
+	if exec.calls != 1 {
+		t.Fatalf("executor called %d times, want 1", exec.calls)
+	}
+	// Memoized: a repeat call never reaches the executor.
+	if _, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if exec.calls != 1 {
+		t.Fatalf("memoized call reached the executor (calls=%d)", exec.calls)
+	}
+}
+
+// TestRemoteExecutorFailuresClassified pins the remote failure paths: a
+// transient executor error burns the retry budget and surfaces as a
+// classified transient CellError, and a panicking executor is recovered
+// exactly like a panicking local cell.
+func TestRemoteExecutorFailuresClassified(t *testing.T) {
+	exec := &delegatingExec{err: fmt.Errorf("dist: %w: boom", ErrCoordinatorUnreachable)}
+	r := fastRunner(1)
+	r.Retries = 1
+	r.Remote = exec
+	_, _, err := r.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Reason != ReasonNet || ce.Class != ClassTransient {
+		t.Fatalf("remote transport failure classified as %v, want (net, transient)", err)
+	}
+	if exec.calls != 2 {
+		t.Fatalf("transient remote failure trained %d attempts, want 2 (1 + Retries)", exec.calls)
+	}
+
+	panicking := panicExec{}
+	r2 := fastRunner(1)
+	r2.Remote = panicking
+	_, _, err = r2.Predictions("pneumonialike", "base", "convnet", nil, 0)
+	if !errors.As(err, &ce) || ce.Reason != ReasonPanic {
+		t.Fatalf("panicking executor classified as %v, want a recovered panic", err)
+	}
+}
+
+// panicExec is a CellExecutor that always panics.
+type panicExec struct{}
+
+func (panicExec) ExecuteCell(string, CellSpec) ([]int, time.Duration, error) {
+	panic("broken executor")
+}

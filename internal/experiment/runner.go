@@ -101,6 +101,17 @@ type Runner struct {
 	// cells run to completion and journal normally, so an interrupted run
 	// resumes without losing finished work.
 	Ctx context.Context
+	// Remote, when non-nil, delegates every uncached cell to an external
+	// executor (the distributed grid coordinator in internal/dist)
+	// instead of training locally. Everything else — memoization, the
+	// retry taxonomy, cancellation, events — behaves identically, and
+	// because cell randomness is keyed rather than scheduled, a remotely
+	// executed cell's predictions are byte-identical to a local run's.
+	// The executor owns durable recording (its journal append is the
+	// completion acknowledgement), so the runner's own Journal append is
+	// skipped; attach the same Journal to the executor and Resume reads
+	// it back exactly like a local run.
+	Remote CellExecutor
 
 	mu       sync.Mutex
 	datasets map[string]*dsEntry
@@ -186,6 +197,38 @@ func (r *Runner) Dataset(name string) (train, test *data.Dataset, err error) {
 // FaultSpec mirrors faultinject.Spec for experiment definitions.
 type FaultSpec = faultinject.Spec
 
+// CellSpec names one experiment cell portably: the five grid coordinates
+// that, together with a runner configuration, fully determine the cell's
+// key, randomness, and therefore its byte-exact predictions. It is the
+// unit the distributed grid leases over the wire (JSON round-trips every
+// field exactly — Rate is a float64, which encoding/json preserves
+// bit-for-bit).
+type CellSpec struct {
+	// Dataset is the study dataset name (see DatasetNames).
+	Dataset string `json:"dataset"`
+	// Technique is the mitigation technique identifier ("base", "ls", …).
+	Technique string `json:"technique"`
+	// Arch is the model architecture identifier.
+	Arch string `json:"arch"`
+	// Specs are the injected fault specifications (empty means clean).
+	Specs []FaultSpec `json:"specs,omitempty"`
+	// Rep is the repetition index.
+	Rep int `json:"rep"`
+}
+
+// CellExecutor executes one experiment cell outside the local trainer —
+// the seam the distributed grid plugs into (Runner.Remote). Implementations
+// must return the exact predictions a local trainCell would produce for
+// the same key; errors flow into the runner's transient/permanent
+// taxonomy, so an executor signals "worth retrying" by wrapping one of
+// the transient sentinels (ErrLeaseExpired, ErrWorkerLost, …).
+type CellExecutor interface {
+	// ExecuteCell runs the cell named by key/spec and returns its test-set
+	// predictions and training duration. It may block for as long as the
+	// cell takes to train somewhere.
+	ExecuteCell(key string, spec CellSpec) (pred []int, trainDur time.Duration, err error)
+}
+
 // specsKey canonicalizes a fault-spec list for cache keys.
 func specsKey(specs []FaultSpec) string {
 	if len(specs) == 0 {
@@ -263,7 +306,10 @@ func (r *Runner) Predictions(ds, tech, arch string, specs []FaultSpec, rep int) 
 	e.pred, e.trainDur, e.err = r.trainCellWithRetry(key, ds, tech, arch, specs, rep)
 	r.emit(obs.Event{Kind: obs.KindCellFinish, Key: key, Dur: e.trainDur, Err: e.err})
 	r.recordOutcome(key, e)
-	if e.err == nil && r.Journal != nil {
+	if e.err == nil && r.Journal != nil && r.Remote == nil {
+		// With a Remote executor the coordinator appended the flowed-back
+		// record durably before acknowledging the cell; appending here
+		// again would double-journal it.
 		rec := obs.Record{
 			Key:       key,
 			TrainNS:   e.trainDur.Nanoseconds(),
@@ -335,7 +381,7 @@ func (r *Runner) Failures() []*CellError {
 func (r *Runner) trainCellWithRetry(key, ds, tech, arch string, specs []FaultSpec, rep int) ([]int, time.Duration, error) {
 	var total time.Duration
 	for attempt := 1; ; attempt++ {
-		pred, dur, err := r.trainCell(key, ds, tech, arch, specs, rep)
+		pred, dur, err := r.executeCell(key, ds, tech, arch, specs, rep)
 		total += dur
 		if err == nil {
 			return pred, total, nil
@@ -346,6 +392,23 @@ func (r *Runner) trainCellWithRetry(key, ds, tech, arch string, specs []FaultSpe
 		}
 		r.emit(obs.Event{Kind: obs.KindCellRetry, Key: key, N: attempt, Err: ce})
 	}
+}
+
+// executeCell runs one uncached Predictions attempt: locally through
+// trainCell, or through the Remote executor when one is installed. The
+// remote path recovers panics exactly like the local one so a broken
+// executor cannot take down the grid.
+func (r *Runner) executeCell(key, ds, tech, arch string, specs []FaultSpec, rep int) (pred []int, dur time.Duration, err error) {
+	if r.Remote == nil {
+		return r.trainCell(key, ds, tech, arch, specs, rep)
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			pred, dur = nil, 0
+			err = fmt.Errorf("experiment: %s: %w", key, parallel.AsPanicError(v))
+		}
+	}()
+	return r.Remote.ExecuteCell(key, CellSpec{Dataset: ds, Technique: tech, Arch: arch, Specs: specs, Rep: rep})
 }
 
 // trainCell performs the uncached work of one Predictions attempt. A panic

@@ -159,7 +159,9 @@ func TestDirectives(t *testing.T) {
 // randomness/concurrency/observability layers and cmd/ binaries are
 // exempt, everything else is not — and cmd/tdfmserve is denied back
 // out of the cmd/ subtree, because its supervision and hot-swap timers
-// must stay on chaos.Clock for the swap-chaos acceptance suite.
+// must stay on chaos.Clock for the swap-chaos acceptance suite, as is
+// internal/dist, whose lease deadlines and heartbeats the grid-chaos
+// suite drives on a FakeClock.
 func TestNoDeterminismAllowlist(t *testing.T) {
 	p := NewNoDeterminism()
 	for _, rel := range []string{"internal/xrand", "internal/obs", "internal/parallel", "internal/chaos", "cmd", "cmd/tdfmbench", "cmd/trainmodel"} {
@@ -167,7 +169,7 @@ func TestNoDeterminismAllowlist(t *testing.T) {
 			t.Errorf("%s should be allowlisted", rel)
 		}
 	}
-	for _, rel := range []string{"internal/experiment", "internal/report", "internal/metrics", ".", "internal/obsolete", "commando", "cmd/tdfmserve"} {
+	for _, rel := range []string{"internal/experiment", "internal/report", "internal/metrics", ".", "internal/obsolete", "commando", "cmd/tdfmserve", "internal/dist"} {
 		if p.allowed(rel) {
 			t.Errorf("%s should NOT be allowlisted", rel)
 		}

@@ -67,6 +67,13 @@ func NewNoDeterminism() *NoDeterminism {
 			// Operator-UX exceptions in it are individually justified with
 			// //tdfm:allow.
 			"cmd/tdfmserve",
+			// The distributed grid's lease deadlines, reissue backoff, and
+			// worker heartbeats must run on chaos.Clock so the grid-chaos
+			// acceptance suite can expire and reissue leases on a FakeClock
+			// with zero wall-clock sleeps. Listing it here keeps the
+			// requirement explicit (and binding even if a broader Allow
+			// entry ever covers it).
+			"internal/dist",
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -122,10 +123,49 @@ func Open(dir string) (*Journal, error) {
 // Dir returns the artifacts directory the journal writes under.
 func (j *Journal) Dir() string { return j.dir }
 
+// ErrFlowback marks a foreign record rejected by AppendVerified: the
+// record's key, digest, or length does not match the predictions it
+// arrived with, so journaling it would poison a later resume. Callers
+// (the grid coordinator) match it with errors.Is and reissue the cell
+// instead of recording it.
+var ErrFlowback = errors.New("obs: flowback record does not match its predictions")
+
 // Append durably records one completed cell: it checkpoints pred
 // atomically, then appends rec (stamped with RecordVersion, pred's digest
 // and length, and the completion time) as one synced JSONL line.
 func (j *Journal) Append(rec Record, pred []int) error {
+	rec.Digest = Digest(pred)
+	rec.N = len(pred)
+	return j.append(rec, pred)
+}
+
+// AppendVerified durably records a cell produced elsewhere — a worker's
+// flowback in the distributed grid. Unlike Append, which stamps the
+// digest itself, AppendVerified re-verifies the foreign record against
+// the predictions it arrived with (key present, length and digest match)
+// and refuses to journal on any mismatch, returning an error wrapping
+// ErrFlowback. A verified append is byte-for-byte what a local Append of
+// the same predictions would have written, so a distributed run's journal
+// resumes, renders, and digests exactly like a local one.
+func (j *Journal) AppendVerified(rec Record, pred []int) error {
+	if rec.Key == "" {
+		return fmt.Errorf("obs: %w: record has no cell key", ErrFlowback)
+	}
+	if rec.N != len(pred) {
+		return fmt.Errorf("obs: %s: %w: record says %d predictions, got %d",
+			rec.Key, ErrFlowback, rec.N, len(pred))
+	}
+	if got := Digest(pred); got != rec.Digest {
+		return fmt.Errorf("obs: %s: %w: prediction digest %s does not match record %s",
+			rec.Key, ErrFlowback, got, rec.Digest)
+	}
+	return j.append(rec, pred)
+}
+
+// append is the shared durable-append path: checkpoint first (atomic
+// rename), then one synced journal line. rec's digest and length must
+// already be consistent with pred.
+func (j *Journal) append(rec Record, pred []int) error {
 	// Chaos faultpoint: lets tests fail the durable append for chosen cells
 	// and assert the run survives (the cell stays unrecorded and a -resume
 	// rerun recomputes it).
@@ -133,8 +173,6 @@ func (j *Journal) Append(rec Record, pred []int) error {
 		return fmt.Errorf("obs: appending record for %s: %w", rec.Key, act.Err)
 	}
 	rec.V = RecordVersion
-	rec.Digest = Digest(pred)
-	rec.N = len(pred)
 	rec.Wall = time.Now().UTC().Format(time.RFC3339)
 	err := data.WriteFileAtomic(CellFile(j.dir, rec.Key), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(cellCheckpoint{Key: rec.Key, Pred: pred})

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -214,5 +215,66 @@ func TestDigestDistinguishes(t *testing.T) {
 	}
 	if Digest(nil) != Digest([]int{}) {
 		t.Fatal("nil and empty predictions should digest equally")
+	}
+}
+
+// TestAppendVerifiedRejectsCorruptFlowback pins the distributed-grid
+// safety property: a foreign (worker-produced) record whose digest,
+// length, or key does not match its predictions is refused — nothing is
+// journaled, so the coordinator reissues the cell instead of poisoning a
+// later resume.
+func TestAppendVerifiedRejectsCorruptFlowback(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	pred := []int{3, 1, 4, 1, 5}
+	good := Record{Key: "cellA|scale0|seed1|ep2", Digest: Digest(pred), N: len(pred), Seed: 1}
+
+	bad := []struct {
+		name string
+		rec  Record
+		pred []int
+	}{
+		{"tampered digest", Record{Key: good.Key, Digest: "fnv1a:00000000deadbeef", N: len(pred)}, pred},
+		{"length mismatch", Record{Key: good.Key, Digest: good.Digest, N: len(pred) - 1}, pred},
+		{"truncated predictions", Record{Key: good.Key, Digest: good.Digest, N: len(pred)}, pred[:3]},
+		{"missing key", Record{Digest: good.Digest, N: len(pred)}, pred},
+	}
+	for _, tc := range bad {
+		err := j.AppendVerified(tc.rec, tc.pred)
+		if err == nil {
+			t.Fatalf("%s: corrupt flowback was journaled", tc.name)
+		}
+		if !errors.Is(err, ErrFlowback) {
+			t.Fatalf("%s: error %v does not wrap ErrFlowback", tc.name, err)
+		}
+	}
+	if recs, err := Load(dir, nil); err != nil || len(recs) != 0 {
+		t.Fatalf("journal after rejected flowbacks: %d records, err %v; want empty", len(recs), err)
+	}
+
+	// The verified append of a consistent record is byte-for-byte what a
+	// local Append would have written (modulo the wall timestamp).
+	if err := j.AppendVerified(good, pred); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Load(dir, func(line int, err error) { t.Errorf("warning on line %d: %v", line, err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Digest != good.Digest || recs[0].N != good.N {
+		t.Fatalf("verified append loaded back as %+v", recs)
+	}
+	got, err := LoadPred(dir, recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if got[i] != pred[i] {
+			t.Fatalf("checkpoint round-trip %v, want %v", got, pred)
+		}
 	}
 }

@@ -116,6 +116,35 @@ const (
 	// Event.Detail the phase ("exited", "unhealthy", "start-failed",
 	// "restarted").
 	KindMemberRestart
+	// KindLeaseGrant reports the grid coordinator leasing a cell to a
+	// worker: Event.Key is the cell key, Event.Member the worker ID,
+	// Event.N the issue attempt (1 for the first lease of a cell), and
+	// Event.Detail the lease ID.
+	KindLeaseGrant
+	// KindLeaseExpire reports a cell lease whose deadline passed without
+	// a completion or heartbeat — the holding worker crashed, hung, or
+	// was partitioned. Event.Key is the cell key and Event.Member the
+	// worker that held the lease.
+	KindLeaseExpire
+	// KindLeaseReissue reports an expired, released, or rejected cell
+	// re-entering the lease queue: Event.Key is the cell key, Event.N the
+	// issue attempts so far, Event.Dur the reissue backoff that was
+	// applied, and Event.Detail the cause ("expired", "released",
+	// "rejected", "worker-failed").
+	KindLeaseReissue
+	// KindCellFlowback reports a worker-produced cell record durably
+	// appended to the coordinator's journal: Event.Key is the cell key,
+	// Event.Member the completing worker, Event.Dur the worker's training
+	// wall-clock, and Event.Detail the verified prediction digest.
+	KindCellFlowback
+	// KindWorkerJoin reports the first lease request from a worker ID
+	// (or the first after the worker was declared lost); Event.Member
+	// names the worker.
+	KindWorkerJoin
+	// KindWorkerLost reports a worker declared lost because a lease it
+	// held expired; Event.Member names the worker. A later lease request
+	// from the same ID re-joins it.
+	KindWorkerLost
 )
 
 // String returns a stable lower-case name for the kind.
@@ -167,6 +196,18 @@ func (k Kind) String() string {
 		return "swap"
 	case KindMemberRestart:
 		return "member-restart"
+	case KindLeaseGrant:
+		return "lease-grant"
+	case KindLeaseExpire:
+		return "lease-expire"
+	case KindLeaseReissue:
+		return "lease-reissue"
+	case KindCellFlowback:
+		return "cell-flowback"
+	case KindWorkerJoin:
+		return "worker-join"
+	case KindWorkerLost:
+		return "worker-lost"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -192,7 +233,8 @@ type Event struct {
 	// serving-layer member failures and failed KindReqDone.
 	Err error
 	// Member names the ensemble member for the serving layer's member and
-	// breaker events.
+	// breaker events, and the worker ID for the distributed grid's lease
+	// and worker events.
 	Member string
 	// Detail is a short structured annotation: the achieved quorum "k/n"
 	// on KindReqDone, the state transition on KindBreakerChange.
