@@ -351,8 +351,12 @@ func (c *Coordinator) reissueLocked(cl *cell, cause string, capErr error) {
 	}
 	var backoff time.Duration
 	if cause == "expired" || cause == "worker-failed" {
-		backoff = c.opts.ReissueBase << (cl.attempts - 1)
-		if backoff > c.opts.ReissueMax {
+		shift := cl.attempts - 1
+		if shift > 20 {
+			shift = 20 // a larger shift overflows Duration into the hot-requeue path
+		}
+		backoff = c.opts.ReissueBase << shift
+		if backoff <= 0 || backoff > c.opts.ReissueMax {
 			backoff = c.opts.ReissueMax
 		}
 	}
@@ -443,11 +447,18 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteReply, error) {
 		return CompleteReply{Status: StatusRejected, Detail: err.Error()}, nil
 	}
 	c.dropLeaseLocked(cl)
+	// A failed cell already delivered its error (done is closed): accept
+	// the late success durably — a runner retry's ExecuteCell then finds
+	// the cell done and returns at once — but never re-close done.
+	delivered := cl.state == stateFailed
 	cl.state = stateDone
 	cl.pred = req.Pred
 	cl.digest = rec.Digest
 	cl.trainNS = req.TrainNS
-	close(cl.done)
+	cl.err = nil
+	if !delivered {
+		close(cl.done)
+	}
 	c.emit(obs.Event{Kind: obs.KindCellFlowback, Key: req.Key, Member: req.Worker,
 		Dur: time.Duration(req.TrainNS), Detail: "digest=" + rec.Digest})
 	return CompleteReply{Status: StatusOK}, nil
@@ -456,10 +467,15 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteReply, error) {
 // completeErrorLocked resolves a worker-reported cell failure: permanent
 // errors fail the cell immediately (retrying cannot fix configuration),
 // cancelled ones act like a released lease, and transient ones reissue
-// with backoff until the attempt budget is spent.
+// with backoff until the attempt budget is spent. Only the current
+// leaseholder's report counts: a zombie whose lease expired must not
+// drop the live worker's lease or burn the cell's attempt budget.
 func (c *Coordinator) completeErrorLocked(cl *cell, req CompleteRequest) CompleteReply {
 	if cl.state == stateDone || cl.state == stateFailed {
 		return CompleteReply{Status: StatusDuplicate}
+	}
+	if cl.state != stateLeased || cl.lease == nil || cl.lease.id != req.LeaseID {
+		return CompleteReply{Status: StatusUnknown, Detail: "lease is not current; failure report ignored"}
 	}
 	c.dropLeaseLocked(cl)
 	switch experiment.ErrorClass(req.ErrClass) {

@@ -313,6 +313,92 @@ func TestLeaseAttemptBudgetFailsTransient(t *testing.T) {
 	}
 }
 
+// TestLateSuccessAfterAttemptsExhausted: a cell spends its attempt
+// budget (error delivered, done closed), then the partitioned worker —
+// healthy all along — delivers its completed copy. The record journals
+// durably and the done channel is not re-closed (this used to panic); a
+// runner retry finds the cell done and returns immediately.
+func TestLateSuccessAfterAttemptsExhausted(t *testing.T) {
+	clock := chaos.NewFake()
+	c := testCoord(t, clock, nil, func(o *Options) { o.MaxAttempts = 1 })
+	done := startCell(c, "k1")
+	l := leaseCell(t, c, "w1")
+	waitFor(t, "the lease watcher to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(10 * time.Second)
+	res := <-done
+	if !errors.Is(res.err, experiment.ErrLeaseExpired) {
+		t.Fatalf("exhausted cell error %v, want ErrLeaseExpired", res.err)
+	}
+
+	pred := []int{7, 3}
+	rep, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred)})
+	if err != nil || rep.Status != StatusOK {
+		t.Fatalf("late success delivery: %+v, %v", rep, err)
+	}
+	if got := c.Stats(); got.Done != 1 || got.Failed != 0 {
+		t.Fatalf("stats after late success: %+v", got)
+	}
+	if res := <-startCell(c, "k1"); res.err != nil || len(res.pred) != 2 {
+		t.Fatalf("retry after late success returned %v, %v", res.pred, res.err)
+	}
+}
+
+// TestStaleLeaseErrorReportIgnored: a zombie worker whose lease expired
+// reports a cell failure while another worker holds the live lease. The
+// report must be ignored — not drop the live lease or burn the budget.
+func TestStaleLeaseErrorReportIgnored(t *testing.T) {
+	clock := chaos.NewFake()
+	c := testCoord(t, clock, nil, nil)
+	done := startCell(c, "k1")
+
+	l1 := leaseCell(t, c, "w1")
+	waitFor(t, "the lease watcher to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(10 * time.Second)
+	waitFor(t, "backoff after expiry", func() bool { return c.Stats().Backoff == 1 })
+	waitFor(t, "the backoff sleeper to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(time.Second)
+	l2 := leaseCell(t, c, "w2")
+
+	rep, err := c.Complete(CompleteRequest{Worker: "w1", LeaseID: l1.LeaseID, Key: "k1",
+		ErrReason: experiment.ReasonPanic, ErrClass: string(experiment.ClassTransient), ErrMsg: "zombie boom"})
+	if err != nil || rep.Status != StatusUnknown {
+		t.Fatalf("stale-lease failure report: %+v, %v", rep, err)
+	}
+	if got := c.Stats(); got.Leased != 1 {
+		t.Fatalf("stats after stale failure report: %+v", got)
+	}
+
+	pred := []int{4, 2}
+	if rep, err := c.Complete(CompleteRequest{Worker: "w2", LeaseID: l2.LeaseID, Key: "k1",
+		Pred: pred, Digest: obs.Digest(pred)}); err != nil || rep.Status != StatusOK {
+		t.Fatalf("live completion after stale report: %+v, %v", rep, err)
+	}
+	if res := <-done; res.err != nil {
+		t.Fatal(res.err)
+	}
+}
+
+// TestReissueBackoffClampsAtMax: attempt counts large enough to overflow
+// the exponential shift must still back off at ReissueMax, never fall
+// into the immediate-requeue (hot loop) path.
+func TestReissueBackoffClampsAtMax(t *testing.T) {
+	clock := chaos.NewFake()
+	c := testCoord(t, clock, nil, func(o *Options) { o.MaxAttempts = 100 })
+	c.mu.Lock()
+	cl := &cell{key: "k1", state: stateLeased, attempts: 80, done: make(chan struct{})}
+	c.cells["k1"] = cl
+	c.reissueLocked(cl, "expired", experiment.ErrLeaseExpired)
+	state := cl.state
+	c.mu.Unlock()
+	if state != stateBackoff {
+		t.Fatalf("overflowing attempt count left state %d, want backoff", state)
+	}
+	waitFor(t, "the backoff sleeper to arm", func() bool { return clock.Waiters() >= 1 })
+	clock.Advance(8 * time.Second) // the test ReissueMax
+	waitFor(t, "requeue at the capped backoff", func() bool { return c.Stats().Queued == 1 })
+}
+
 // TestWorkerErrorFlowback: a worker-reported permanent failure fails the
 // cell at once; a transient one reissues it with backoff.
 func TestWorkerErrorFlowback(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"tdfm/internal/experiment"
 )
@@ -50,9 +51,16 @@ func handle[Req, Rep any](mux *http.ServeMux, path string, fn func(Req) (Rep, er
 type HTTPTransport struct {
 	// Base is the coordinator's base URL ("http://host:port").
 	Base string
-	// Client overrides http.DefaultClient when non-nil.
+	// Client overrides the default client when non-nil. The default
+	// carries a request timeout: a partitioned coordinator that accepts
+	// connections but never answers must surface as an error (engaging
+	// the worker's outage backoff), not block a call forever.
 	Client *http.Client
 }
+
+// defaultClient bounds every coordinator call; http.DefaultClient has no
+// timeout and would wedge a worker permanently on a silent partition.
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
 
 // Lease implements Transport.
 func (t *HTTPTransport) Lease(req LeaseRequest) (LeaseReply, error) {
@@ -78,7 +86,7 @@ func post[Rep any](t *HTTPTransport, path string, req any) (Rep, error) {
 	}
 	client := t.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient
 	}
 	resp, err := client.Post(t.Base+path, "application/json", bytes.NewReader(body))
 	if err != nil {

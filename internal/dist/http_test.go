@@ -82,6 +82,15 @@ func TestHTTPTransportUnreachable(t *testing.T) {
 	}
 }
 
+// TestDefaultClientHasTimeout: the fallback HTTP client must bound every
+// call — a coordinator that accepts the connection but never answers
+// would otherwise wedge a worker forever, outside the outage backoff.
+func TestDefaultClientHasTimeout(t *testing.T) {
+	if defaultClient.Timeout <= 0 {
+		t.Fatal("defaultClient carries no timeout; a silent coordinator partition would block workers forever")
+	}
+}
+
 // TestHTTPBadRequest: a malformed body answers 400 without reaching
 // the coordinator, and a non-OK status wraps ErrCoordinatorUnreachable
 // on the client side.
